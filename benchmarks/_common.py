@@ -1,0 +1,46 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at a
+laptop-sized configuration, records the rendered table under
+``benchmarks/results/`` (the inputs to EXPERIMENTS.md), asserts the
+paper's qualitative *shape* (who wins, where crossovers fall) and times
+the run via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.results import Row, format_table, rows_to_series
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Persist a rendered results table for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_rows(
+    name: str,
+    rows: Sequence[Row],
+    title: str,
+    x_label: str = "eps",
+    value_format: str = "{:.3e}",
+) -> None:
+    """Render + persist a row set."""
+    record(name, format_table(rows, title=title, x_label=x_label,
+                              value_format=value_format))
+
+
+def series(rows: Sequence[Row]):
+    """Shortcut for rows_to_series."""
+    return rows_to_series(rows)
+
+
+def run_once(benchmark, fn):
+    """Time a single execution of an experiment (they are too slow for
+    pytest-benchmark's default calibration loop)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Multidimensional census analytics under LDP (the paper's Section IV).
+
+Scenario: a statistics bureau collects 16 attributes per person — ages,
+incomes, working hours (numeric) plus occupation, marital status, etc.
+(categorical) — under a single eps-LDP budget per person, and publishes
+every attribute's mean / frequency table.
+
+This script compares the paper's proposed collector (Algorithm 4 +
+Section IV-C, with HM and OUE inside) against the best-effort
+composition baseline the paper evaluates (eps/d per attribute).
+
+Run:  python examples/census_analytics.py
+"""
+
+import numpy as np
+
+from repro import MixedMultidimCollector, SplitCompositionBaseline, make_br_like
+
+EPSILON = 1.0
+N_USERS = 100_000
+
+
+def main():
+    rng = np.random.default_rng(7)
+    dataset = make_br_like(N_USERS, rng=rng)
+    schema = dataset.schema
+    print(
+        f"BR-like census: {dataset.n} users, {schema.d} attributes "
+        f"({len(schema.numeric)} numeric + {len(schema.categorical)} "
+        f"categorical), eps = {EPSILON}\n"
+    )
+
+    truth_means = dataset.true_numeric_means()
+    truth_freqs = dataset.true_categorical_frequencies()
+
+    # --- The proposed solution -----------------------------------------
+    collector = MixedMultidimCollector(
+        schema, EPSILON, numeric_mechanism="hm", oracle="oue"
+    )
+    proposed = collector.collect(dataset, rng)
+    print(f"proposed collector samples k = {collector.k} attribute(s) "
+          f"per user at eps/k = {EPSILON / collector.k:g} each\n")
+
+    # --- The composition baseline ---------------------------------------
+    baseline = SplitCompositionBaseline(
+        schema, EPSILON, numeric_method="duchi", oracle="oue"
+    )
+    composed = baseline.collect(dataset, rng)
+
+    print(f"{'numeric attribute':<18}{'true':>9}{'proposed':>10}"
+          f"{'baseline':>10}")
+    print("-" * 47)
+    for attr in schema.numeric:
+        print(
+            f"{attr.name:<18}{truth_means[attr.name]:>+9.4f}"
+            f"{proposed.means[attr.name]:>+10.4f}"
+            f"{composed.means[attr.name]:>+10.4f}"
+        )
+
+    print(f"\nnumeric-mean MSE:  proposed {proposed.mean_mse(truth_means):.3e}"
+          f"  baseline {composed.mean_mse(truth_means):.3e}")
+    print(f"frequency MSE:     proposed "
+          f"{proposed.frequency_mse(truth_freqs):.3e}"
+          f"  baseline {composed.frequency_mse(truth_freqs):.3e}")
+
+    # One categorical attribute in detail.
+    attr = schema.categorical[0]
+    print(f"\nfrequency table for {attr.name!r} "
+          f"(cardinality {attr.cardinality}):")
+    print(f"{'value':<8}{'true':>8}{'proposed':>10}{'baseline':>10}")
+    for v in range(attr.cardinality):
+        print(
+            f"{v:<8}{truth_freqs[attr.name][v]:>8.4f}"
+            f"{proposed.frequencies[attr.name][v]:>10.4f}"
+            f"{composed.frequencies[attr.name][v]:>10.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

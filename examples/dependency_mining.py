@@ -1,0 +1,74 @@
+"""Mining attribute dependencies under LDP, with a privacy audit.
+
+Scenario: an analyst wants to know *which categorical attributes are
+associated* (for feature selection, say) without collecting raw data.
+Each user reports one attribute pair's joint value under eps-LDP; the
+aggregator reconstructs the 2-way contingency tables and ranks pairs by
+estimated mutual information.  Before deployment, the perturbation
+primitives are put through the empirical privacy auditor.
+
+Run:  python examples/dependency_mining.py
+"""
+
+import numpy as np
+
+from repro import make_br_like
+from repro.analysis import audit_frequency_oracle, audit_numeric_mechanism
+from repro.core import HybridMechanism
+from repro.frequency import get_oracle
+from repro.multidim import PairwiseMarginalCollector, true_marginal_table
+
+EPSILON = 2.0
+N_USERS = 200_000
+PAIRS = [
+    ("occupation", "employment_status"),
+    ("occupation", "gender"),
+    ("religion", "literacy"),
+    ("marital_status", "home_ownership"),
+]
+
+
+def main():
+    rng = np.random.default_rng(17)
+
+    # ---- 0. pre-deployment audit --------------------------------------
+    print("pre-deployment privacy audit (empirical lower bounds):")
+    print(f"  {audit_numeric_mechanism(HybridMechanism(EPSILON), rng=rng)}")
+    print(f"  {audit_frequency_oracle(get_oracle('oue', EPSILON, 10), rng=rng)}\n")
+
+    # ---- 1. collect pairwise marginals ---------------------------------
+    dataset = make_br_like(N_USERS, rng=rng)
+    collector = PairwiseMarginalCollector(
+        dataset.schema, EPSILON, pairs=PAIRS, oracle="oue"
+    )
+    tables = collector.collect(dataset, rng)
+
+    # ---- 2. rank dependencies ------------------------------------------
+    print(f"estimated dependencies ({N_USERS} users, eps = {EPSILON}, "
+          f"one pair per user):\n")
+    print(f"{'pair':<40}{'MI (est)':>10}{'MI (true)':>11}{'V (est)':>9}")
+    print("-" * 70)
+    ranked = sorted(
+        tables.items(), key=lambda kv: -kv[1].mutual_information()
+    )
+    for pair, table in ranked:
+        truth = true_marginal_table(dataset, *pair)
+        print(
+            f"{pair[0]+' x '+pair[1]:<40}"
+            f"{table.mutual_information():>10.4f}"
+            f"{truth.mutual_information():>11.4f}"
+            f"{table.cramers_v():>9.3f}"
+        )
+
+    # ---- 3. drill into the strongest pair -------------------------------
+    pair, table = ranked[0]
+    print(f"\nconditional P[{pair[1]} | {pair[0]} = 0] from the private "
+          f"estimate:")
+    print("  " + np.array2string(table.conditional(0), precision=3))
+    truth = true_marginal_table(dataset, *pair)
+    print("vs. the (never-collected) truth:")
+    print("  " + np.array2string(truth.conditional(0), precision=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Training ML models with LDP-SGD (the paper's Section V case study).
+
+Scenario: predict whether a person's income exceeds the population mean
+(logistic regression / SVM) and the income itself (linear regression),
+where every training gradient is collected under eps-LDP using the
+paper's Algorithm 4 with the Hybrid Mechanism.
+
+Run:  python examples/private_sgd.py
+"""
+
+import numpy as np
+
+from repro import (
+    LinearRegression,
+    LogisticRegression,
+    SupportVectorMachine,
+    make_mx_like,
+)
+from repro.data.census import INCOME
+
+N_USERS = 60_000
+EPSILONS = (0.5, 1.0, 2.0, 4.0)
+
+
+def main():
+    rng = np.random.default_rng(42)
+    dataset = make_mx_like(N_USERS, rng=rng)
+    x, y = dataset.to_erm_features(INCOME)
+    y_binary = np.where(y > y.mean(), 1.0, -1.0)
+    print(
+        f"MX-like census -> {x.shape[1]} features after one-hot encoding, "
+        f"{N_USERS} users\n"
+    )
+
+    # Hold out a test set (the paper uses 10-fold cross-validation; one
+    # split keeps this example fast).
+    split = int(0.8 * N_USERS)
+    x_train, x_test = x[:split], x[split:]
+    y_train, y_test = y[:split], y[split:]
+    yb_train, yb_test = y_binary[:split], y_binary[split:]
+
+    tasks = [
+        ("linear regression (MSE)", LinearRegression, y_train, y_test),
+        ("logistic regression (miscls)", LogisticRegression, yb_train, yb_test),
+        ("SVM (miscls)", SupportVectorMachine, yb_train, yb_test),
+    ]
+
+    for label, model_cls, target_train, target_test in tasks:
+        non_private = model_cls(epsilon=None).fit(x_train, target_train, rng)
+        reference = non_private.score(x_test, target_test)
+        print(f"{label}:  non-private = {reference:.4f}")
+        for eps in EPSILONS:
+            model = model_cls(epsilon=eps, method="hm")
+            model.fit(x_train, target_train, rng)
+            score = model.score(x_test, target_test)
+            print(f"   eps = {eps:<4g} ldp-sgd(hm) = {score:.4f}")
+        print()
+
+    print(
+        "Errors shrink towards the non-private reference as eps grows —\n"
+        "the Figs. 9-11 trend.  Every user's gradient was perturbed\n"
+        "locally; the trainer never saw a raw gradient."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: estimate the mean of a sensitive numeric attribute under LDP.
+
+Scenario: n users each hold one value in [-1, 1] (say, a normalized
+daily screen-time figure).  Each user locally perturbs her value with
+the Hybrid Mechanism and sends only the noisy value; the aggregator
+averages the reports.  We compare every mechanism in the package at the
+same privacy budget.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import available_mechanisms, get_mechanism
+
+EPSILON = 1.0
+N_USERS = 100_000
+
+
+def main():
+    rng = np.random.default_rng(2019)
+
+    # The sensitive data: skewed towards small values, like most of the
+    # real attributes in the paper's experiments.
+    true_values = np.clip(rng.beta(2.0, 6.0, N_USERS) * 2.0 - 1.0, -1.0, 1.0)
+    true_mean = true_values.mean()
+    print(f"{N_USERS} users, privacy budget eps = {EPSILON}")
+    print(f"true mean = {true_mean:+.5f}\n")
+
+    print(f"{'mechanism':<12}{'estimate':>12}{'abs error':>12}"
+          f"{'worst-case var':>16}")
+    print("-" * 52)
+    for name in available_mechanisms():
+        mechanism = get_mechanism(name, EPSILON)
+        # Each user perturbs locally...
+        noisy_reports = mechanism.privatize(true_values, rng)
+        # ...the aggregator only ever sees noisy_reports.
+        estimate = mechanism.estimate_mean(noisy_reports)
+        print(
+            f"{name:<12}{estimate:>+12.5f}{abs(estimate - true_mean):>12.5f}"
+            f"{mechanism.worst_case_variance():>16.4f}"
+        )
+
+    print(
+        "\nHM (the paper's Hybrid Mechanism) has the smallest worst-case"
+        "\nvariance; with 100k users every unbiased mechanism lands close"
+        "\nto the true mean, but HM/PM do so with the least noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

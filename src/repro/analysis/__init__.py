@@ -1,0 +1,45 @@
+"""Aggregator-side analysis: intervals, planning and budget accounting."""
+
+from repro.analysis.auditor import (
+    AuditResult,
+    audit_frequency_oracle,
+    audit_numeric_mechanism,
+)
+from repro.analysis.accountant import (
+    BudgetExceededError,
+    Charge,
+    PrivacyAccountant,
+)
+from repro.analysis.intervals import (
+    ConfidenceInterval,
+    collector_mean_intervals,
+    frequency_intervals,
+    mean_interval,
+    z_quantile,
+)
+from repro.analysis.planner import (
+    Plan,
+    compare_mechanisms,
+    required_epsilon,
+    required_users,
+    worst_case_variance,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_interval",
+    "frequency_intervals",
+    "collector_mean_intervals",
+    "z_quantile",
+    "Plan",
+    "required_users",
+    "required_epsilon",
+    "compare_mechanisms",
+    "worst_case_variance",
+    "PrivacyAccountant",
+    "BudgetExceededError",
+    "Charge",
+    "AuditResult",
+    "audit_numeric_mechanism",
+    "audit_frequency_oracle",
+]

@@ -1,0 +1,103 @@
+"""Per-user privacy budget accounting (sequential composition).
+
+LDP deployments repeatedly query the same population: today a mean,
+tomorrow a frequency table, next week gradients.  Under sequential
+composition the per-user losses add up; the accountant is the ledger
+that enforces a lifetime cap — the reason the paper's SGD has each user
+participate in exactly one iteration (Section V's m = 1 argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.validation import check_epsilon
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a charge would push a user past the lifetime cap."""
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One recorded expenditure."""
+
+    user: str
+    epsilon: float
+    label: str
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative eps spent per user under sequential composition.
+
+    Parameters
+    ----------
+    lifetime_epsilon:
+        Hard cap on any single user's total budget.
+    """
+
+    lifetime_epsilon: float
+    _spent: Dict[str, float] = field(default_factory=dict)
+    _ledger: List[Charge] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.lifetime_epsilon = check_epsilon(self.lifetime_epsilon)
+
+    # ------------------------------------------------------------------
+    def spent(self, user: str) -> float:
+        """Total eps already consumed by ``user``."""
+        return self._spent.get(user, 0.0)
+
+    def remaining(self, user: str) -> float:
+        """Budget left before ``user`` hits the lifetime cap."""
+        return self.lifetime_epsilon - self.spent(user)
+
+    def can_charge(self, user: str, epsilon: float) -> bool:
+        """Whether a charge of ``epsilon`` fits within the cap."""
+        return check_epsilon(epsilon) <= self.remaining(user) + 1e-12
+
+    def charge(self, user: str, epsilon: float, label: str = "") -> float:
+        """Record a charge; raises BudgetExceededError if it overdraws."""
+        epsilon = check_epsilon(epsilon)
+        if not self.can_charge(user, epsilon):
+            raise BudgetExceededError(
+                f"user {user!r}: charge {epsilon:g} exceeds remaining "
+                f"budget {self.remaining(user):g} "
+                f"(lifetime {self.lifetime_epsilon:g})"
+            )
+        self._spent[user] = self.spent(user) + epsilon
+        self._ledger.append(Charge(user=user, epsilon=epsilon, label=label))
+        return self.remaining(user)
+
+    def charge_group(
+        self, users, epsilon: float, label: str = ""
+    ) -> Tuple[str, ...]:
+        """Charge every user that still has room; returns those charged.
+
+        This is the SGD recruitment pattern: only users with budget left
+        may join an iteration's group."""
+        epsilon = check_epsilon(epsilon)
+        charged = []
+        for user in users:
+            if self.can_charge(user, epsilon):
+                self.charge(user, epsilon, label)
+                charged.append(user)
+        return tuple(charged)
+
+    # ------------------------------------------------------------------
+    @property
+    def ledger(self) -> Tuple[Charge, ...]:
+        """Immutable view of every recorded charge."""
+        return tuple(self._ledger)
+
+    def total_spent(self) -> float:
+        """Sum of eps across all users (a deployment-level cost figure)."""
+        return float(sum(self._spent.values()))
+
+    def exhausted_users(self) -> Tuple[str, ...]:
+        """Users with (numerically) no budget left."""
+        return tuple(
+            sorted(u for u in self._spent if self.remaining(u) < 1e-12)
+        )

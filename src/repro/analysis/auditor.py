@@ -1,0 +1,208 @@
+"""Empirical LDP auditing: lower-bound a mechanism's privacy loss from samples.
+
+A black-box check that a perturbation function actually delivers the
+eps it claims: run the mechanism many times on a pair of inputs (t, t'),
+compare the two output distributions over a common binning, and report a
+*statistically sound lower bound* on the privacy loss:
+
+    observed = max over bins of ( |log(p_a/p_b)| - z * SE )
+
+where SE ~ sqrt(1/count_a + 1/count_b) is the delta-method standard
+error of the log-ratio and z is a conservative quantile.  Bins are
+equal-mass quantile bins of the pooled samples (so every bin has enough
+counts for the SE to be meaningful); discrete outputs (e.g. Duchi's
+two-point support) are binned by exact value.
+
+This is a *lower-bound* auditor — it can prove a mechanism broken
+(observed clearly above eps) but can never prove it correct.  The test
+suite uses it both ways: correct mechanisms pass, and a deliberately
+mis-parameterized mechanism is flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.validation import check_epsilon
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Conservative normal quantile for the per-bin slack.
+SLACK_Z = 4.0
+
+#: Additive smoothing per bin (keeps empty bins finite).
+SMOOTHING = 0.5
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of one empirical privacy audit."""
+
+    claimed_epsilon: float
+    observed_epsilon: float
+    raw_max_log_ratio: float
+    samples_per_input: int
+    bins: int
+    worst_pair: tuple
+
+    @property
+    def passed(self) -> bool:
+        """True when the high-confidence lower bound stays within the
+        claim."""
+        return self.observed_epsilon <= self.claimed_epsilon
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] claimed eps={self.claimed_epsilon:g}; observed "
+            f"loss lower bound {self.observed_epsilon:.4f} "
+            f"(raw max {self.raw_max_log_ratio:.4f}, "
+            f"n={self.samples_per_input}, bins={self.bins}, "
+            f"worst pair {self.worst_pair})"
+        )
+
+
+def _counts_over_common_bins(
+    samples_a: np.ndarray, samples_b: np.ndarray, bins: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram both sample sets over shared equal-mass bins.
+
+    Discrete outputs (few unique values) are binned by exact value;
+    continuous outputs by pooled quantiles, so no bin is starved.
+    """
+    pooled = np.concatenate([samples_a, samples_b])
+    unique = np.unique(pooled)
+    if unique.size <= bins:
+        edges = np.concatenate(
+            [unique - 1e-12, [unique[-1] + 1e-12]]
+        )
+    else:
+        quantiles = np.linspace(0.0, 1.0, bins + 1)
+        edges = np.unique(np.quantile(pooled, quantiles))
+        edges[0] -= 1e-12
+        edges[-1] += 1e-12
+    count_a, _ = np.histogram(samples_a, bins=edges)
+    count_b, _ = np.histogram(samples_b, bins=edges)
+    return count_a.astype(float), count_b.astype(float)
+
+
+def _loss_lower_bound(
+    count_a: np.ndarray, count_b: np.ndarray
+) -> Tuple[float, float]:
+    """(lower bound, raw max) of the |log ratio| over the shared bins."""
+    prob_a = (count_a + SMOOTHING) / (count_a.sum() + SMOOTHING * count_a.size)
+    prob_b = (count_b + SMOOTHING) / (count_b.sum() + SMOOTHING * count_b.size)
+    log_ratio = np.abs(np.log(prob_a) - np.log(prob_b))
+    se = np.sqrt(
+        1.0 / (count_a + SMOOTHING) + 1.0 / (count_b + SMOOTHING)
+    )
+    lower = np.clip(log_ratio - SLACK_Z * se, 0.0, None)
+    return float(lower.max()), float(log_ratio.max())
+
+
+def audit_numeric_mechanism(
+    mechanism,
+    claimed_epsilon: float = None,
+    inputs: Sequence[float] = (-1.0, 0.0, 1.0),
+    samples_per_input: int = 200_000,
+    bins: int = 30,
+    rng: RngLike = None,
+) -> AuditResult:
+    """Audit a 1-D numeric mechanism's eps claim from samples.
+
+    More bins sharpen the bound towards the true sup-ratio but raise the
+    per-bin noise; the defaults resolve eps <= ~4 reliably at the default
+    sample size.
+    """
+    if claimed_epsilon is None:
+        claimed_epsilon = mechanism.epsilon
+    claimed_epsilon = check_epsilon(claimed_epsilon)
+    if samples_per_input < 1_000:
+        raise ValueError("need at least 1000 samples per input")
+    gen = ensure_rng(rng)
+
+    samples = {
+        t: np.asarray(
+            mechanism.privatize(np.full(samples_per_input, float(t)), gen)
+        )
+        for t in inputs
+    }
+    observed, raw, worst_pair = 0.0, 0.0, (inputs[0], inputs[0])
+    for i, t in enumerate(inputs):
+        for t_prime in inputs[i + 1 :]:
+            count_a, count_b = _counts_over_common_bins(
+                samples[t], samples[t_prime], bins
+            )
+            lower, raw_pair = _loss_lower_bound(count_a, count_b)
+            raw = max(raw, raw_pair)
+            if lower > observed:
+                observed, worst_pair = lower, (t, t_prime)
+    return AuditResult(
+        claimed_epsilon=claimed_epsilon,
+        observed_epsilon=observed,
+        raw_max_log_ratio=raw,
+        samples_per_input=samples_per_input,
+        bins=bins,
+        worst_pair=worst_pair,
+    )
+
+
+def audit_frequency_oracle(
+    oracle,
+    claimed_epsilon: float = None,
+    samples_per_input: int = 100_000,
+    rng: RngLike = None,
+) -> AuditResult:
+    """Audit a categorical oracle by comparing report distributions.
+
+    For direct encodings the reports themselves are compared; for unary
+    encodings the joint distribution of the two bits that differ between
+    the one-hot inputs is compared (those two bits carry the whole loss).
+    """
+    if claimed_epsilon is None:
+        claimed_epsilon = oracle.epsilon
+    claimed_epsilon = check_epsilon(claimed_epsilon)
+    gen = ensure_rng(rng)
+    value_a = np.zeros(samples_per_input, dtype=np.int64)
+    value_b = np.ones(samples_per_input, dtype=np.int64)
+    reports_a = oracle.privatize(value_a, gen)
+    reports_b = oracle.privatize(value_b, gen)
+
+    if hasattr(reports_a, "seeds"):  # OLH: project onto support indicators
+        # Whether each report supports value 0 / value 1 is a
+        # deterministic post-processing of (seed, bucket), so the loss
+        # observed on the 2-bit indicator lower-bounds the true loss.
+        def codes(reports):
+            zeros = np.zeros(len(reports), dtype=np.int64)
+            ones = np.ones(len(reports), dtype=np.int64)
+            support0 = oracle._hash(reports.seeds, zeros) == reports.buckets
+            support1 = oracle._hash(reports.seeds, ones) == reports.buckets
+            return support0.astype(np.int64) * 2 + support1.astype(np.int64)
+
+        count_a = np.bincount(codes(reports_a), minlength=4).astype(float)
+        count_b = np.bincount(codes(reports_b), minlength=4).astype(float)
+    elif np.asarray(reports_a).ndim == 2:  # unary encodings: joint 2-bit pmf
+        bits_a = np.asarray(reports_a)[:, :2]
+        bits_b = np.asarray(reports_b)[:, :2]
+        code_a = bits_a[:, 0] * 2 + bits_a[:, 1]
+        code_b = bits_b[:, 0] * 2 + bits_b[:, 1]
+        count_a = np.bincount(code_a, minlength=4).astype(float)
+        count_b = np.bincount(code_b, minlength=4).astype(float)
+    else:  # direct-encoding reports
+        count_a = np.bincount(
+            np.asarray(reports_a), minlength=oracle.k
+        ).astype(float)
+        count_b = np.bincount(
+            np.asarray(reports_b), minlength=oracle.k
+        ).astype(float)
+    observed, raw = _loss_lower_bound(count_a, count_b)
+    return AuditResult(
+        claimed_epsilon=claimed_epsilon,
+        observed_epsilon=observed,
+        raw_max_log_ratio=raw,
+        samples_per_input=samples_per_input,
+        bins=int(count_a.size),
+        worst_pair=(0, 1),
+    )

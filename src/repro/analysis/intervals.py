@@ -1,0 +1,191 @@
+"""Confidence intervals for LDP estimates.
+
+Two flavours are provided for every estimate this package produces:
+
+* **Concentration intervals** from the paper's Lemma 2 / Lemma 5
+  (sub-Gaussian tail of bounded reports) — conservative, hold for any n.
+* **CLT intervals** using the mechanism's closed-form variance —
+  asymptotically exact and much tighter at realistic n.
+
+Both express what the *aggregator* can honestly publish next to a
+point estimate without access to the raw data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.mechanism import NumericMechanism
+from repro.frequency.oracle import FrequencyOracle
+from repro.utils.stats import confidence_radius
+
+#: Standard normal quantiles for common coverage levels.
+_Z_TABLE = {0.20: 1.2816, 0.10: 1.6449, 0.05: 1.9600, 0.01: 2.5758}
+
+
+def z_quantile(beta: float) -> float:
+    """Two-sided standard-normal quantile z_{1 - beta/2}.
+
+    Uses a small exact table for common levels and the Acklam-style
+    rational approximation elsewhere (no scipy dependency).
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")
+    if beta in _Z_TABLE:
+        return _Z_TABLE[beta]
+    # Beasley-Springer-Moro approximation of the inverse normal CDF.
+    p = 1.0 - beta / 2.0
+    a = (
+        -3.969683028665376e01, 2.209460984245205e02,
+        -2.759285104469687e02, 1.383577518672690e02,
+        -3.066479806614716e01, 2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01, 1.615858368580409e02,
+        -1.556989798598866e02, 6.680131188771972e01,
+        -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e00, -2.549732539343734e00,
+        4.374664141464968e00, 2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e00, 3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if p < p_low:
+        # Lower tail (never reached for beta in (0, 1), kept for safety).
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+            * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+        )
+    # Upper tail: x = -norminv(1 - p) > 0.
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric interval estimate with its coverage level."""
+
+    estimate: float
+    radius: float
+    beta: float
+    method: str
+
+    @property
+    def low(self) -> float:
+        return self.estimate - self.radius
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.radius
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.estimate:+.5f} +- {self.radius:.5f} "
+            f"({100 * (1 - self.beta):.0f}% {self.method})"
+        )
+
+
+def mean_interval(
+    mechanism: NumericMechanism,
+    estimate: float,
+    n: int,
+    beta: float = 0.05,
+    method: str = "clt",
+) -> ConfidenceInterval:
+    """Interval for a 1-D mean estimate from n reports of a mechanism.
+
+    method="clt" uses z * sqrt(MaxVar/n); method="concentration" uses
+    the Lemma 2 sub-Gaussian radius (wider, non-asymptotic).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    variance = mechanism.worst_case_variance()
+    if method == "clt":
+        radius = z_quantile(beta) * math.sqrt(variance / n)
+    elif method == "concentration":
+        radius = confidence_radius(variance, n, beta)
+    else:
+        raise ValueError(
+            f"method must be 'clt' or 'concentration', got {method!r}"
+        )
+    return ConfidenceInterval(
+        estimate=float(estimate), radius=radius, beta=beta, method=method
+    )
+
+
+def frequency_intervals(
+    oracle: FrequencyOracle,
+    estimates,
+    n: int,
+    beta: float = 0.05,
+) -> Tuple[ConfidenceInterval, ...]:
+    """CLT intervals for every value of a frequency oracle's estimate.
+
+    A Bonferroni correction (beta/k) keeps simultaneous coverage."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    k = oracle.k
+    corrected = beta / k
+    out = []
+    for value_estimate in estimates:
+        variance = oracle.estimator_variance(
+            n, f=float(min(max(value_estimate, 0.0), 1.0))
+        )
+        radius = z_quantile(corrected) * math.sqrt(max(variance, 0.0))
+        out.append(
+            ConfidenceInterval(
+                estimate=float(value_estimate),
+                radius=radius,
+                beta=beta,
+                method="clt+bonferroni",
+            )
+        )
+    return tuple(out)
+
+
+def collector_mean_intervals(
+    collector,
+    estimates: Dict[str, float],
+    n: int,
+    beta: float = 0.05,
+) -> Dict[str, ConfidenceInterval]:
+    """Simultaneous CLT intervals for a multidim collector's mean dict.
+
+    Uses the collector's per-coordinate worst-case variance and a
+    Bonferroni correction over the numeric attributes."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not estimates:
+        raise ValueError("no mean estimates supplied")
+    variance = collector.worst_case_variance()
+    corrected = beta / len(estimates)
+    radius = z_quantile(corrected) * math.sqrt(variance / n)
+    return {
+        name: ConfidenceInterval(
+            estimate=float(value),
+            radius=radius,
+            beta=beta,
+            method="clt+bonferroni",
+        )
+        for name, value in estimates.items()
+    }

@@ -1,0 +1,163 @@
+"""Utility planning: how many users / how much budget does a target need?
+
+Inverts the paper's accuracy guarantees.  Given a target error and
+confidence, the planner answers the deployment questions:
+
+* ``required_users`` — the n that makes the (Lemma 2/5-style) error
+  radius fall below the target at a given eps;
+* ``required_epsilon`` — the smallest eps (by bisection) achieving the
+  target at a given n;
+* ``compare_mechanisms`` — the per-mechanism n needed, exposing the
+  paper's variance orderings as concrete cost differences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.analysis.intervals import z_quantile
+from repro.core.validation import check_dimension, check_epsilon
+from repro.theory.variance import (
+    duchi_1d_worst_variance,
+    duchi_md_worst_variance,
+    hm_md_worst_variance,
+    hm_worst_variance,
+    laplace_variance,
+    pm_md_worst_variance,
+    pm_worst_variance,
+)
+
+#: Worst-case variance functions by (mechanism, dimensionality) regime.
+_ONE_D: Dict[str, Callable[[float], float]] = {
+    "laplace": laplace_variance,
+    "duchi": duchi_1d_worst_variance,
+    "pm": pm_worst_variance,
+    "hm": hm_worst_variance,
+}
+
+_MULTI_D: Dict[str, Callable[[float, int], float]] = {
+    "duchi": duchi_md_worst_variance,
+    "pm": pm_md_worst_variance,
+    "hm": hm_md_worst_variance,
+}
+
+
+def worst_case_variance(epsilon: float, mechanism: str, d: int = 1) -> float:
+    """Dispatch to the right closed-form worst-case variance."""
+    epsilon = check_epsilon(epsilon)
+    d = check_dimension(d)
+    if d == 1:
+        try:
+            return _ONE_D[mechanism](epsilon)
+        except KeyError:
+            raise ValueError(
+                f"unknown 1-D mechanism {mechanism!r}; "
+                f"choose from {tuple(_ONE_D)}"
+            ) from None
+    try:
+        return _MULTI_D[mechanism](epsilon, d)
+    except KeyError:
+        raise ValueError(
+            f"unknown multi-d mechanism {mechanism!r}; "
+            f"choose from {tuple(_MULTI_D)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A resolved deployment plan."""
+
+    mechanism: str
+    epsilon: float
+    d: int
+    target_error: float
+    beta: float
+    required_n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mechanism} @ eps={self.epsilon:g}, d={self.d}: "
+            f"n >= {self.required_n} for |error| <= {self.target_error:g} "
+            f"w.p. {1 - self.beta:.0%}"
+        )
+
+
+def required_users(
+    epsilon: float,
+    target_error: float,
+    mechanism: str = "hm",
+    d: int = 1,
+    beta: float = 0.05,
+) -> Plan:
+    """Smallest n such that the CLT radius is within ``target_error``.
+
+    For d > 1 a Bonferroni correction over attributes keeps the
+    guarantee simultaneous (the Lemma 5 max-over-attributes flavour).
+    """
+    if target_error <= 0:
+        raise ValueError(f"target_error must be positive, got {target_error}")
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")
+    variance = worst_case_variance(epsilon, mechanism, d)
+    z = z_quantile(beta / d if d > 1 else beta)
+    n = int(math.ceil(z * z * variance / (target_error * target_error)))
+    return Plan(
+        mechanism=mechanism,
+        epsilon=float(epsilon),
+        d=d,
+        target_error=target_error,
+        beta=beta,
+        required_n=max(n, 1),
+    )
+
+
+def required_epsilon(
+    n: int,
+    target_error: float,
+    mechanism: str = "hm",
+    d: int = 1,
+    beta: float = 0.05,
+    eps_range=(1e-3, 32.0),
+) -> float:
+    """Smallest eps meeting the target at a fixed n, by bisection.
+
+    Raises if even the largest eps in ``eps_range`` cannot meet the
+    target (i.e. the sampling error floor is too high).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+
+    def radius(eps: float) -> float:
+        variance = worst_case_variance(eps, mechanism, d)
+        z = z_quantile(beta / d if d > 1 else beta)
+        return z * math.sqrt(variance / n)
+
+    lo, hi = eps_range
+    if radius(hi) > target_error:
+        raise ValueError(
+            f"target error {target_error:g} unreachable with n={n} even at "
+            f"eps={hi:g}; need more users"
+        )
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if radius(mid) > target_error:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def compare_mechanisms(
+    epsilon: float,
+    target_error: float,
+    d: int = 1,
+    beta: float = 0.05,
+) -> Dict[str, Plan]:
+    """Required n per mechanism — the variance ordering as user-count cost."""
+    mechanisms = _ONE_D if d == 1 else _MULTI_D
+    return {
+        name: required_users(epsilon, target_error, name, d, beta)
+        for name in mechanisms
+    }

@@ -1,0 +1,39 @@
+"""One-dimensional numeric LDP mechanisms and Duchi's Algorithm 3.
+
+This subpackage implements the paper's primary contribution (the
+Piecewise and Hybrid Mechanisms) together with every baseline the paper
+evaluates against: the Laplace mechanism, SCDF, Staircase, and Duchi et
+al.'s one- and multi-dimensional solutions.
+"""
+
+from repro.core.duchi import DuchiMechanism, DuchiMultidimMechanism
+from repro.core.hybrid import HybridMechanism
+from repro.core.laplace import LaplaceMechanism
+from repro.core.moments import MomentEstimate, MomentsEstimator
+from repro.core.mechanism import (
+    NumericMechanism,
+    available_mechanisms,
+    get_mechanism,
+)
+from repro.core.piecewise import PiecewiseMechanism
+from repro.core.piecewise_constant import (
+    PiecewiseConstantNoiseMechanism,
+    SCDFMechanism,
+    StaircaseMechanism,
+)
+
+__all__ = [
+    "NumericMechanism",
+    "available_mechanisms",
+    "get_mechanism",
+    "LaplaceMechanism",
+    "SCDFMechanism",
+    "StaircaseMechanism",
+    "PiecewiseConstantNoiseMechanism",
+    "DuchiMechanism",
+    "DuchiMultidimMechanism",
+    "PiecewiseMechanism",
+    "HybridMechanism",
+    "MomentsEstimator",
+    "MomentEstimate",
+]

@@ -1,0 +1,169 @@
+"""Duchi et al.'s minimax-optimal LDP mechanisms (Algorithms 1 and 3).
+
+One-dimensional case (Algorithm 1): the perturbed value is binary,
+t* = ±(e^eps + 1)/(e^eps - 1), with head probability linear in t.  The
+estimate is unbiased with variance ((e^eps+1)/(e^eps-1))^2 - t^2 — note
+the variance *increases* as |t| decreases, the opposite of PM.
+
+Multidimensional case (Algorithm 3): each coordinate of the output is
+±B where B = (e^eps + 1)/(e^eps - 1) * C_d and C_d is the combinatorial
+constant of Eq. (9).  A random sign vector v encodes the input; the
+output is drawn uniformly from the halfspace {t* : t* . v >= 0} with
+probability e^eps/(e^eps + 1), else from the complementary halfspace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mechanism import NumericMechanism, register_mechanism
+from repro.core.validation import check_dimension, check_epsilon, check_matrix
+from repro.theory.constants import duchi_b, duchi_cd
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@register_mechanism
+class DuchiMechanism(NumericMechanism):
+    """Duchi et al.'s solution for one-dimensional numeric data (Alg. 1)."""
+
+    name = "duchi"
+
+    @property
+    def bound(self) -> float:
+        """The magnitude of the binary output, (e^eps+1)/(e^eps-1)."""
+        e = math.exp(self.epsilon)
+        return (e + 1.0) / (e - 1.0)
+
+    def head_probability(self, t) -> np.ndarray:
+        """Pr[u = 1 | t] = (e^eps - 1)/(2 e^eps + 2) * t + 1/2."""
+        t = np.asarray(t, dtype=float)
+        e = math.exp(self.epsilon)
+        return (e - 1.0) / (2.0 * e + 2.0) * t + 0.5
+
+    def privatize(self, values, rng: RngLike = None) -> np.ndarray:
+        flat, shape, gen = self._prepare(values, rng)
+        heads = gen.random(flat.shape) < self.head_probability(flat)
+        out = np.where(heads, self.bound, -self.bound)
+        return self._restore(out, shape)
+
+    def variance(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return self.bound**2 - t**2
+
+    def worst_case_variance(self) -> float:
+        # Maximized at t = 0 (Eq. 4).
+        return self.bound**2
+
+    def output_range(self) -> Tuple[float, float]:
+        return (-self.bound, self.bound)
+
+    def output_probabilities(self, t: float) -> dict:
+        """Exact output pmf {value: probability}; used by the DP tests."""
+        p = float(self.head_probability(t))
+        return {self.bound: p, -self.bound: 1.0 - p}
+
+
+class DuchiMultidimMechanism:
+    """Duchi et al.'s solution for multidimensional numeric data (Alg. 3).
+
+    Perturbs whole tuples in [-1, 1]^d under eps-LDP (the full budget
+    covers the entire tuple, not each coordinate).
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget for the whole tuple.
+    d:
+        Number of numeric attributes.
+    tie_breaking:
+        How output corners with t* . v = 0 (possible only for even d)
+        are treated.  "shared" follows Algorithm 3 as printed (boundary
+        corners belong to both halfspaces; unbiased with the paper's
+        Eq. 9 constant, but for even d the worst-case probability ratio
+        is e^eps + 1).  "split" follows Duchi et al.'s original
+        construction (boundary corners join either halfspace with
+        probability 1/2; exactly eps-LDP for every d, with the matching
+        constant 2^{d-1}/binom(d-1, floor(d/2))).  The two variants are
+        identical for odd d.  See repro.theory.constants.duchi_cd.
+    """
+
+    def __init__(self, epsilon: float, d: int, tie_breaking: str = "shared"):
+        self.epsilon = check_epsilon(epsilon)
+        self.d = check_dimension(d)
+        self.tie_breaking = tie_breaking
+        self.cd = duchi_cd(self.d, tie_breaking)
+        self.b = duchi_b(self.epsilon, self.d, tie_breaking)
+
+    def privatize(self, tuples, rng: RngLike = None) -> np.ndarray:
+        """Perturb an (n, d) matrix of tuples; returns an (n, d) matrix.
+
+        A 1-D input of length d is treated as a single tuple and a 1-D
+        output is returned.
+        """
+        gen = ensure_rng(rng)
+        arr = np.asarray(tuples, dtype=float)
+        single = arr.ndim == 1
+        t = check_matrix(arr, self.d)
+        n = t.shape[0]
+
+        # Line 1: v[j] = +1 with probability (1 + t[j]) / 2.
+        v = np.where(gen.random(t.shape) < (1.0 + t) / 2.0, 1.0, -1.0)
+
+        # Line 3: Bernoulli u with Pr[u=1] = e^eps / (e^eps + 1).
+        e = math.exp(self.epsilon)
+        want_positive = gen.random(n) < e / (e + 1.0)
+
+        signs = self._sample_halfspace(v, want_positive, gen)
+        out = self.b * signs
+        return out[0] if single else out
+
+    def _sample_halfspace(
+        self, v: np.ndarray, want_positive: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        """Uniformly sample s in {-1,1}^d from the requested halfspace.
+
+        Rejection sampling from the full hypercube: by symmetry at least
+        half of all sign vectors satisfy each halfspace constraint, so
+        the expected number of rounds is < 2.  Corners with s.v = 0 are
+        accepted always ("shared" ties) or with probability 1/2
+        ("split" ties); see the class docstring.
+        """
+        n, d = v.shape
+        signs = np.empty((n, d))
+        pending = np.arange(n)
+        while pending.size:
+            cand = np.where(gen.random((pending.size, d)) < 0.5, 1.0, -1.0)
+            dots = np.einsum("ij,ij->i", cand, v[pending])
+            if self.tie_breaking == "shared":
+                tie_ok = dots == 0.0
+            else:
+                tie_ok = (dots == 0.0) & (gen.random(pending.size) < 0.5)
+            ok = np.where(
+                want_positive[pending], dots > 0.0, dots < 0.0
+            ) | tie_ok
+            accepted = pending[ok]
+            signs[accepted] = cand[ok]
+            pending = pending[~ok]
+        return signs
+
+    def variance(self, t) -> np.ndarray:
+        """Per-coordinate variance Var[t*[j] | t[j]] (Eq. 13)."""
+        t = np.asarray(t, dtype=float)
+        return self.b**2 - t**2
+
+    def worst_case_variance(self) -> float:
+        """Worst-case per-coordinate variance, at t[j] = 0 (Eq. 13)."""
+        return self.b**2
+
+    def estimate_means(self, reports) -> np.ndarray:
+        """Unbiased per-attribute mean estimates: the column averages."""
+        arr = np.asarray(reports, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("reports must be a non-empty (n, d) matrix")
+        return arr.mean(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DuchiMultidimMechanism(epsilon={self.epsilon!r}, d={self.d})"

@@ -1,0 +1,52 @@
+"""The classic Laplace mechanism applied to the LDP setting.
+
+For an input t in [-1, 1], the sensitivity of the identity query is 2, so
+t* = t + Lap(2/eps) satisfies eps-LDP.  The estimate is unbiased with
+noise variance 2 * (2/eps)^2 = 8/eps^2 regardless of t (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mechanism import NumericMechanism, register_mechanism
+from repro.utils.rng import RngLike
+
+#: Sensitivity of a value in [-1, 1]: max |t - t'| = 2.
+SENSITIVITY = 2.0
+
+
+@register_mechanism
+class LaplaceMechanism(NumericMechanism):
+    """Laplace noise addition: ``t* = t + Lap(2/eps)``."""
+
+    name = "laplace"
+
+    @property
+    def scale(self) -> float:
+        """The Laplace scale parameter lambda = 2/eps."""
+        return SENSITIVITY / self.epsilon
+
+    def privatize(self, values, rng: RngLike = None) -> np.ndarray:
+        flat, shape, gen = self._prepare(values, rng)
+        noise = gen.laplace(loc=0.0, scale=self.scale, size=flat.shape)
+        return self._restore(flat + noise, shape)
+
+    def variance(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        # Var[Lap(lambda)] = 2 lambda^2, independent of the input value.
+        return np.full_like(t, 2.0 * self.scale**2)
+
+    def worst_case_variance(self) -> float:
+        return 8.0 / self.epsilon**2
+
+    def output_range(self) -> Tuple[float, float]:
+        return (-np.inf, np.inf)
+
+    def pdf(self, x, t: float) -> np.ndarray:
+        """Output density pdf(t* = x | t); used by the LDP property tests."""
+        x = np.asarray(x, dtype=float)
+        lam = self.scale
+        return np.exp(-np.abs(x - t) / lam) / (2.0 * lam)

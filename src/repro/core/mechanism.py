@@ -1,0 +1,137 @@
+"""Abstract interface for 1-D numeric LDP mechanisms.
+
+A :class:`NumericMechanism` perturbs a single numeric value in [-1, 1]
+under epsilon-local differential privacy.  Concrete subclasses implement
+the paper's mechanisms (Laplace, SCDF, Staircase, Duchi et al., PM, HM).
+
+Every mechanism exposes, besides sampling, the *closed-form* per-input
+noise variance and its worst case over the input domain — these are the
+quantities Table I and Figs. 1/3 of the paper compare.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from repro.core.validation import check_epsilon, check_unit_interval
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class NumericMechanism(abc.ABC):
+    """Base class for one-dimensional numeric ε-LDP mechanisms.
+
+    Parameters
+    ----------
+    epsilon:
+        The privacy budget ε > 0 consumed by one invocation of
+        :meth:`privatize` per value.
+    """
+
+    #: Registry key; subclasses set a short lowercase name.
+    name: str = "abstract"
+
+    def __init__(self, epsilon: float):
+        self.epsilon = check_epsilon(epsilon)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def privatize(self, values, rng: RngLike = None) -> np.ndarray:
+        """Perturb each value in ``values`` independently under ε-LDP.
+
+        ``values`` may be a scalar or any array shape; the output has the
+        same shape.  Each entry consumes the full budget ε, so callers
+        perturbing a d-dimensional tuple must split the budget themselves
+        (or use :mod:`repro.multidim`).
+        """
+
+    # ------------------------------------------------------------------
+    # Closed-form accuracy
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def variance(self, t) -> np.ndarray:
+        """Noise variance Var[t* | t] for each input value ``t``."""
+
+    def worst_case_variance(self) -> float:
+        """max over t in [-1, 1] of :meth:`variance`.
+
+        Default implementation evaluates the endpoints and 0, which is
+        exact for every mechanism in this package (their variances are
+        monotone in |t|); subclasses may override with a closed form.
+        """
+        candidates = self.variance(np.array([-1.0, 0.0, 1.0]))
+        return float(np.max(candidates))
+
+    def output_range(self) -> Tuple[float, float]:
+        """The support of the perturbed output (may be infinite)."""
+        return (-math.inf, math.inf)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def estimate_mean(self, reports) -> float:
+        """Unbiased mean estimate from a collection of perturbed reports.
+
+        All mechanisms here are unbiased (E[t*] = t), so the aggregator's
+        estimator is simply the average of the reports.
+        """
+        arr = np.asarray(reports, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot estimate a mean from zero reports")
+        return float(arr.mean())
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _prepare(self, values, rng: RngLike):
+        """Common prologue: validate domain, coerce rng, flatten."""
+        arr = check_unit_interval(values, name="values")
+        return np.atleast_1d(arr), np.shape(values), ensure_rng(rng)
+
+    @staticmethod
+    def _restore(flat: np.ndarray, shape) -> np.ndarray:
+        """Reshape a flat result to the caller's input shape."""
+        out = flat.reshape(shape) if shape else flat.reshape(())
+        return out[()] if shape == () else out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self.epsilon!r})"
+
+
+#: Registry of mechanism name -> class, populated by register_mechanism.
+_REGISTRY: Dict[str, Type[NumericMechanism]] = {}
+
+
+def register_mechanism(cls: Type[NumericMechanism]) -> Type[NumericMechanism]:
+    """Class decorator adding a mechanism to the name registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a unique 'name'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate mechanism name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_mechanisms() -> Tuple[str, ...]:
+    """Names of all registered 1-D numeric mechanisms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_mechanism(name: str, epsilon: float, **kwargs) -> NumericMechanism:
+    """Instantiate a registered mechanism by name.
+
+    >>> get_mechanism("pm", 1.0)          # doctest: +ELLIPSIS
+    PiecewiseMechanism(epsilon=1.0)
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; available: {available_mechanisms()}"
+        ) from None
+    return cls(epsilon, **kwargs)

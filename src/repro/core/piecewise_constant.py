@@ -1,0 +1,160 @@
+"""SCDF and Staircase mechanisms (piecewise-constant additive noise).
+
+Both mechanisms add data-independent noise drawn from the piecewise
+constant density of the paper's Eq. (2): a central plateau of half-width
+``m`` with density ``a``, flanked by an infinite ladder of width-2 steps
+whose density decays by a factor of e^eps per step:
+
+    pdf(x) = a * exp(-eps * (j+1))   for |x| in [m + 2j, m + 2(j+1)], j >= 0
+    pdf(x) = a                        for |x| <= m
+
+The two mechanisms differ only in (m, a):
+
+* **SCDF** (Soria-Comas & Domingo-Ferrer, Inf. Sci. 2013):
+  a = eps/4 and m = 2 (1 - e^{-eps} - eps e^{-eps}) / (eps (1 - e^{-eps})).
+* **Staircase** (Geng et al., J-STSP 2015):
+  m = 2 / (1 + e^{eps/2}) and
+  a = (1 - e^{-eps}) / (2m + 4 e^{-eps} - 2 m e^{-eps}).
+
+Both are unbiased (the noise is symmetric) and have unbounded output,
+which is the deficiency the Piecewise Mechanism addresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mechanism import NumericMechanism, register_mechanism
+from repro.utils.rng import RngLike
+
+#: Width of each ladder step equals the sensitivity of the query (2).
+STEP_WIDTH = 2.0
+
+
+class PiecewiseConstantNoiseMechanism(NumericMechanism):
+    """Shared machinery for SCDF and Staircase.
+
+    Subclasses provide the plateau half-width ``m`` and density ``a``
+    via :meth:`_parameters`.
+    """
+
+    def __init__(self, epsilon: float):
+        super().__init__(epsilon)
+        self.m, self.a = self._parameters()
+        # Probability mass of the central plateau [-m, m].
+        self._p_center = 2.0 * self.m * self.a
+        # Mass of one side's ladder: a * 2 * sum_{j>=1} e^{-eps j}
+        #   = 2 a e^{-eps} / (1 - e^{-eps}).
+        decay = math.exp(-self.epsilon)
+        self._p_side = STEP_WIDTH * self.a * decay / (1.0 - decay)
+        total = self._p_center + 2.0 * self._p_side
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise AssertionError(
+                f"noise pdf does not normalize: total mass {total:.12f}"
+            )
+
+    def _parameters(self) -> Tuple[float, float]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def sample_noise(self, size, rng: RngLike = None) -> np.ndarray:
+        """Draw iid noise values from the piecewise-constant density."""
+        from repro.utils.rng import ensure_rng
+
+        gen = ensure_rng(rng)
+        n = int(np.prod(size)) if np.ndim(size) else int(size)
+        u = gen.random(n)
+        out = np.empty(n)
+
+        in_center = u < self._p_center
+        n_center = int(in_center.sum())
+        out[in_center] = gen.uniform(-self.m, self.m, size=n_center)
+
+        n_tail = n - n_center
+        if n_tail:
+            # Geometric step index: piece j >= 0 with mass prop. to e^{-eps(j+1)}.
+            p = 1.0 - math.exp(-self.epsilon)
+            j = gen.geometric(p, size=n_tail) - 1
+            offset = gen.uniform(0.0, STEP_WIDTH, size=n_tail)
+            magnitude = self.m + STEP_WIDTH * j + offset
+            sign = gen.choice([-1.0, 1.0], size=n_tail)
+            out[~in_center] = sign * magnitude
+        return out.reshape(size)
+
+    def privatize(self, values, rng: RngLike = None) -> np.ndarray:
+        flat, shape, gen = self._prepare(values, rng)
+        return self._restore(flat + self.sample_noise(flat.shape, gen), shape)
+
+    # ------------------------------------------------------------------
+    def pdf(self, x, t: float = 0.0) -> np.ndarray:
+        """Density of the perturbed output t* = t + noise at points x."""
+        x = np.abs(np.asarray(x, dtype=float) - t)
+        out = np.where(x <= self.m, self.a, 0.0)
+        beyond = x > self.m
+        if np.any(beyond):
+            j = np.floor((x[beyond] - self.m) / STEP_WIDTH)
+            out = np.asarray(out, dtype=float)
+            out[beyond] = self.a * np.exp(-self.epsilon * (j + 1.0))
+        return out
+
+    def noise_variance(self) -> float:
+        """Closed-form-by-series variance of the additive noise.
+
+        Var = 2a [ m^3/3 + sum_{j>=0} e^{-eps(j+1)} ((m+2(j+1))^3-(m+2j)^3)/3 ].
+        The series converges geometrically; we truncate once the term
+        falls below machine precision.
+        """
+        eps, m, a = self.epsilon, self.m, self.a
+        total = m**3 / 3.0
+        j = 0
+        while True:
+            lo = m + STEP_WIDTH * j
+            hi = lo + STEP_WIDTH
+            term = math.exp(-eps * (j + 1)) * (hi**3 - lo**3) / 3.0
+            total += term
+            if term < 1e-18 * max(total, 1.0):
+                break
+            j += 1
+            if j > 100_000:  # defensive: eps pathologically small
+                break
+        return 2.0 * a * total
+
+    def variance(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, self.noise_variance())
+
+    def worst_case_variance(self) -> float:
+        return self.noise_variance()
+
+
+@register_mechanism
+class SCDFMechanism(PiecewiseConstantNoiseMechanism):
+    """Soria-Comas & Domingo-Ferrer optimal data-independent noise."""
+
+    name = "scdf"
+
+    def _parameters(self) -> Tuple[float, float]:
+        eps = self.epsilon
+        a = eps / 4.0
+        one_minus = 1.0 - math.exp(-eps)
+        m = STEP_WIDTH * (one_minus - eps * math.exp(-eps)) / (eps * one_minus)
+        if m < 0:
+            raise AssertionError(f"SCDF plateau width is negative: {m}")
+        return m, a
+
+
+@register_mechanism
+class StaircaseMechanism(PiecewiseConstantNoiseMechanism):
+    """Geng et al.'s staircase mechanism (optimal for unbounded domains)."""
+
+    name = "staircase"
+
+    def _parameters(self) -> Tuple[float, float]:
+        eps = self.epsilon
+        m = STEP_WIDTH / (1.0 + math.exp(eps / 2.0))
+        e_neg = math.exp(-eps)
+        a = (1.0 - e_neg) / (2.0 * m + 4.0 * e_neg - 2.0 * m * e_neg)
+        return m, a

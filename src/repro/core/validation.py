@@ -1,0 +1,76 @@
+"""Input validation shared by every mechanism.
+
+All numeric mechanisms in the paper assume inputs in the canonical domain
+[-1, 1] and a strictly positive privacy budget epsilon.  These helpers
+raise early, descriptive errors instead of producing silently-biased
+estimates downstream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Tolerance for domain checks, to forgive float rounding at the endpoints.
+DOMAIN_ATOL = 1e-9
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate a privacy budget and return it as a float."""
+    epsilon = float(epsilon)
+    if not math.isfinite(epsilon):
+        raise ValueError(f"epsilon must be finite, got {epsilon}")
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return epsilon
+
+
+def check_unit_interval(values, name: str = "values") -> np.ndarray:
+    """Validate that values lie in [-1, 1] and return them as an ndarray.
+
+    Scalars are accepted and become 0-d arrays; callers use
+    ``np.atleast_1d`` when they need a vector.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite")
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo < -1.0 - DOMAIN_ATOL or hi > 1.0 + DOMAIN_ATOL:
+        raise ValueError(
+            f"{name} must lie in [-1, 1]; observed range [{lo:.6g}, {hi:.6g}]. "
+            "Normalize inputs first (see repro.data.normalize)."
+        )
+    return np.clip(arr, -1.0, 1.0)
+
+
+def check_dimension(d: int) -> int:
+    """Validate a dimensionality parameter."""
+    d = int(d)
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    return d
+
+
+def check_probability(p: float, name: str = "probability") -> float:
+    """Validate that p is a probability in [0, 1]."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_matrix(values, d: int, name: str = "tuples") -> np.ndarray:
+    """Validate an (n, d) matrix of numeric tuples in [-1, 1]^d."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got ndim={arr.ndim}")
+    if arr.shape[1] != d:
+        raise ValueError(
+            f"{name} must have {d} columns, got {arr.shape[1]}"
+        )
+    return check_unit_interval(arr, name=name)

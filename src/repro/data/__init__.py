@@ -1,0 +1,46 @@
+"""Data substrate: schemas, normalization and dataset generators."""
+
+from repro.data.census import (
+    BR_CATEGORICAL,
+    INCOME,
+    INCOME_RANGE,
+    MX_CATEGORICAL,
+    make_br_like,
+    make_mx_like,
+)
+from repro.data.normalize import denormalize_from_unit, normalize_to_unit
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+from repro.data.synthetic import (
+    power_law_dataset,
+    power_law_matrix,
+    truncated_gaussian_dataset,
+    truncated_gaussian_matrix,
+    uniform_dataset,
+    uniform_matrix,
+)
+
+__all__ = [
+    "NumericAttribute",
+    "CategoricalAttribute",
+    "Schema",
+    "Dataset",
+    "normalize_to_unit",
+    "denormalize_from_unit",
+    "make_br_like",
+    "make_mx_like",
+    "INCOME",
+    "INCOME_RANGE",
+    "BR_CATEGORICAL",
+    "MX_CATEGORICAL",
+    "truncated_gaussian_matrix",
+    "truncated_gaussian_dataset",
+    "uniform_matrix",
+    "uniform_dataset",
+    "power_law_matrix",
+    "power_law_dataset",
+]

@@ -1,0 +1,245 @@
+"""Synthetic census-like datasets standing in for the IPUMS BR/MX extracts.
+
+The paper evaluates on two IPUMS census extracts (Brazil and Mexico, 4M
+records each) that are not redistributable; this module generates
+datasets with the same *shape*:
+
+* ``make_br_like`` — 16 attributes: 6 numeric + 10 categorical (BR);
+* ``make_mx_like`` — 19 attributes: 5 numeric + 14 categorical (MX);
+
+and the properties the experiments actually exercise:
+
+* a skewed, bounded ``total_income`` attribute (the ERM dependent
+  variable in Section VI-B),
+* numeric attributes with different scales and shapes (income is
+  log-normal-ish, age roughly uniform, hours bimodal),
+* categorical attributes with cardinalities from 2 to 16 and skewed
+  marginals, and
+* genuine statistical dependence between income and the other attributes
+  so that linear/logistic regression and SVM have signal to learn.
+
+Category marginals are derived deterministically from the attribute name
+(via CRC32) so the population "looks the same" under any seed; only the
+individuals drawn vary with the rng.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Name of the dependent attribute used by the Section VI-B experiments.
+INCOME = "total_income"
+
+#: Public income domain (currency units); incomes are clipped here.
+INCOME_RANGE = (0.0, 200_000.0)
+
+
+def _marginal(name: str, k: int) -> np.ndarray:
+    """A fixed, skewed probability vector for a categorical attribute.
+
+    Deterministic in the attribute name, so the synthetic population's
+    marginals are stable across seeds and runs.
+    """
+    seed = zlib.crc32(name.encode("utf-8"))
+    gen = np.random.default_rng(seed)
+    raw = gen.dirichlet(np.ones(k))
+    return np.sort(raw)[::-1]
+
+
+def _sample_categorical(
+    name: str, k: int, n: int, gen: np.random.Generator
+) -> np.ndarray:
+    return gen.choice(k, size=n, p=_marginal(name, k))
+
+
+#: Real censuses have dependent attributes; these children are sampled
+#: conditionally on their parent so that 2-way marginals carry signal
+#: (exercised by repro.multidim.marginals).
+_DEPENDENT_ATTRIBUTES = {
+    "employment_status": "occupation",
+    "home_ownership": "marital_status",
+}
+
+
+def _conditional_matrix(child: str, parent: str, k_child: int,
+                        k_parent: int) -> np.ndarray:
+    """A fixed (k_parent, k_child) conditional distribution P[child|parent],
+    deterministic in the attribute names."""
+    rows = [
+        _marginal(f"{child}|{parent}={v}", k_child) for v in range(k_parent)
+    ]
+    matrix = np.stack(rows)
+    # Permute each row's order (the raw marginals are all sorted
+    # descending, which would make rows nearly identical).
+    for v in range(k_parent):
+        seed = zlib.crc32(f"{child}|{parent}|perm{v}".encode("utf-8"))
+        matrix[v] = matrix[v][np.random.default_rng(seed).permutation(k_child)]
+    return matrix
+
+
+def _sample_conditional(
+    child_matrix: np.ndarray, parents: np.ndarray, gen: np.random.Generator
+) -> np.ndarray:
+    """Vectorized draw of child values given each user's parent value."""
+    cumulative = child_matrix.cumsum(axis=1)
+    u = gen.random(parents.shape[0])
+    return (u[:, None] > cumulative[parents]).sum(axis=1)
+
+
+def _effect_codes(name: str, k: int, scale: float = 1.0) -> np.ndarray:
+    """Fixed per-category contributions to the latent income score."""
+    seed = zlib.crc32((name + "/effect").encode("utf-8"))
+    gen = np.random.default_rng(seed)
+    effects = gen.normal(0.0, scale, size=k)
+    return effects - effects.mean()
+
+
+def _generate_population(
+    n: int,
+    categorical_spec: List[Tuple[str, int]],
+    extra_numeric: List[str],
+    gen: np.random.Generator,
+) -> Dict[str, np.ndarray]:
+    """Columns shared by the BR-like and MX-like generators."""
+    columns: Dict[str, np.ndarray] = {}
+
+    # Latent socioeconomic factor driving the correlations.
+    skill = gen.normal(0.0, 1.0, size=n)
+
+    columns["age"] = np.clip(
+        gen.gamma(shape=6.0, scale=7.0, size=n) + 16.0, 16.0, 95.0
+    )
+    columns["education_years"] = np.clip(
+        np.round(8.0 + 3.0 * skill + gen.normal(0.0, 2.0, size=n)), 0.0, 18.0
+    )
+    # Bimodal working hours: non-workers at ~0, workers around 40.
+    works = gen.random(n) < 0.72
+    columns["hours_worked"] = np.clip(
+        np.where(works, gen.normal(41.0, 9.0, size=n), gen.exponential(2.0, n)),
+        0.0,
+        99.0,
+    )
+
+    for name in extra_numeric:
+        if name == "n_children":
+            columns[name] = np.clip(
+                gen.poisson(1.6, size=n).astype(float), 0.0, 12.0
+            )
+        elif name == "rooms":
+            columns[name] = np.clip(
+                np.round(3.5 + 1.2 * skill + gen.normal(0.0, 1.5, size=n)),
+                1.0,
+                15.0,
+            )
+        else:
+            raise ValueError(f"unknown extra numeric attribute {name!r}")
+
+    cardinality = dict(categorical_spec)
+    for name, k in categorical_spec:
+        parent = _DEPENDENT_ATTRIBUTES.get(name)
+        if parent is not None and parent in columns:
+            matrix = _conditional_matrix(name, parent, k, cardinality[parent])
+            columns[name] = _sample_conditional(matrix, columns[parent], gen)
+        else:
+            columns[name] = _sample_categorical(name, k, n, gen)
+
+    # Latent income score: education, hours, age and a few categorical
+    # attributes all contribute, plus idiosyncratic noise.
+    score = (
+        0.45 * (columns["education_years"] / 18.0)
+        + 0.30 * (columns["hours_worked"] / 99.0)
+        + 0.10 * ((columns["age"] - 16.0) / 79.0)
+        + 0.25 * skill
+    )
+    for name, k in categorical_spec[:4]:  # first few attributes matter
+        score = score + 0.12 * _effect_codes(name, k)[columns[name]]
+    score = score + gen.normal(0.0, 0.18, size=n)
+
+    # Log-normal-shaped incomes, clipped to the public domain.  The
+    # resulting normalized values concentrate near the lower end of
+    # [-1, 1] — the skew the paper's Fig. 4 datasets exhibit.
+    income = 9_000.0 * np.exp(1.9 * score)
+    columns[INCOME] = np.clip(income, *INCOME_RANGE)
+    return columns
+
+
+#: (name, cardinality) of BR-like categorical attributes (10 of them).
+BR_CATEGORICAL: List[Tuple[str, int]] = [
+    ("occupation", 10),
+    ("marital_status", 5),
+    ("religion", 6),
+    ("race", 5),
+    ("employment_status", 4),
+    ("gender", 2),
+    ("urban", 2),
+    ("home_ownership", 3),
+    ("literacy", 2),
+    ("region", 5),
+]
+
+#: (name, cardinality) of MX-like categorical attributes (14 of them).
+MX_CATEGORICAL: List[Tuple[str, int]] = [
+    ("occupation", 12),
+    ("state", 16),
+    ("marital_status", 5),
+    ("employment_status", 4),
+    ("gender", 2),
+    ("urban", 2),
+    ("home_ownership", 3),
+    ("religion", 4),
+    ("indigenous", 2),
+    ("literacy", 2),
+    ("health_insurance", 3),
+    ("internet_access", 2),
+    ("vehicle", 2),
+    ("floor_material", 3),
+]
+
+
+def _build(
+    n: int,
+    categorical_spec: List[Tuple[str, int]],
+    extra_numeric: List[str],
+    rng: RngLike,
+) -> Dataset:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    gen = ensure_rng(rng)
+    columns = _generate_population(n, categorical_spec, extra_numeric, gen)
+
+    numeric_attrs = [
+        NumericAttribute("age", 16.0, 95.0),
+        NumericAttribute(INCOME, *INCOME_RANGE),
+        NumericAttribute("hours_worked", 0.0, 99.0),
+        NumericAttribute("education_years", 0.0, 18.0),
+    ]
+    for name in extra_numeric:
+        high = 12.0 if name == "n_children" else 15.0
+        low = 0.0 if name == "n_children" else 1.0
+        numeric_attrs.append(NumericAttribute(name, low, high))
+
+    attrs = list(numeric_attrs) + [
+        CategoricalAttribute(name, k) for name, k in categorical_spec
+    ]
+    return Dataset(schema=Schema(attrs), columns=columns)
+
+
+def make_br_like(n: int = 100_000, rng: RngLike = None) -> Dataset:
+    """BR-like dataset: 16 attributes (6 numeric + 10 categorical)."""
+    return _build(n, BR_CATEGORICAL, ["n_children", "rooms"], rng)
+
+
+def make_mx_like(n: int = 100_000, rng: RngLike = None) -> Dataset:
+    """MX-like dataset: 19 attributes (5 numeric + 14 categorical)."""
+    return _build(n, MX_CATEGORICAL, ["rooms"], rng)

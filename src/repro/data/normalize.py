@@ -1,0 +1,39 @@
+"""Affine normalization between an attribute's native domain and [-1, 1].
+
+Every numeric mechanism in the paper assumes inputs in [-1, 1]; real
+attributes (age, income, ...) live elsewhere.  The user is assumed to
+know the public domain bounds [low, high] (a standard assumption, cf.
+Section III-B's discussion of the [-r, r] case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_bounds(low: float, high: float) -> tuple:
+    low, high = float(low), float(high)
+    if not low < high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    return low, high
+
+
+def normalize_to_unit(values, low: float, high: float) -> np.ndarray:
+    """Map [low, high] affinely onto [-1, 1], clipping boundary rounding."""
+    low, high = _check_bounds(low, high)
+    arr = np.asarray(values, dtype=float)
+    if arr.size and (arr.min() < low or arr.max() > high):
+        raise ValueError(
+            f"values outside declared domain [{low}, {high}]: "
+            f"observed [{arr.min()}, {arr.max()}]"
+        )
+    out = 2.0 * (arr - low) / (high - low) - 1.0
+    return np.clip(out, -1.0, 1.0)
+
+
+def denormalize_from_unit(values, low: float, high: float) -> np.ndarray:
+    """Inverse of :func:`normalize_to_unit` (no clipping: estimates such
+    as perturbed means may legitimately fall outside the domain)."""
+    low, high = _check_bounds(low, high)
+    arr = np.asarray(values, dtype=float)
+    return (arr + 1.0) / 2.0 * (high - low) + low

@@ -1,0 +1,226 @@
+"""Typed attribute schemas and the Dataset container.
+
+A :class:`Schema` is an ordered list of numeric and categorical
+attributes; a :class:`Dataset` binds a schema to column arrays.  The
+multidimensional collectors (Section IV) and the ERM pipeline
+(Section V/VI-B) consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.normalize import normalize_to_unit
+from repro.frequency.encoders import dummy_encode, true_frequencies
+
+
+@dataclass(frozen=True)
+class NumericAttribute:
+    """A numeric attribute with a publicly known domain [low, high]."""
+
+    name: str
+    low: float = -1.0
+    high: float = 1.0
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ValueError(
+                f"{self.name}: need low < high, got [{self.low}, {self.high}]"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A categorical attribute with domain {0, ..., cardinality - 1}."""
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self):
+        if self.cardinality < 2:
+            raise ValueError(
+                f"{self.name}: cardinality must be >= 2, got {self.cardinality}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+
+Attribute = Union[NumericAttribute, CategoricalAttribute]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attributes."""
+
+    attributes: Tuple[Attribute, ...]
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        object.__setattr__(self, "attributes", tuple(attributes))
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {names}")
+
+    @property
+    def d(self) -> int:
+        """Total number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def numeric(self) -> Tuple[NumericAttribute, ...]:
+        return tuple(a for a in self.attributes if a.is_numeric)
+
+    @property
+    def categorical(self) -> Tuple[CategoricalAttribute, ...]:
+        return tuple(a for a in self.attributes if not a.is_numeric)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"no attribute named {name!r}")
+
+    def index(self, name: str) -> int:
+        """Position of an attribute within the schema order."""
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        raise KeyError(f"no attribute named {name!r}")
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only the named attributes, in order."""
+        return Schema([self[name] for name in names])
+
+
+@dataclass
+class Dataset:
+    """A schema plus one column array per attribute.
+
+    Numeric columns are stored in their *native* domain; call
+    :meth:`numeric_matrix` for the [-1, 1]-normalized view the LDP
+    mechanisms require.  Categorical columns are integer-coded.
+    """
+
+    schema: Schema
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self):
+        missing = set(self.schema.names) - set(self.columns)
+        if missing:
+            raise ValueError(f"missing columns for attributes: {sorted(missing)}")
+        lengths = {name: len(self.columns[name]) for name in self.schema.names}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        for attr in self.schema.attributes:
+            col = np.asarray(self.columns[attr.name])
+            if attr.is_numeric:
+                self.columns[attr.name] = col.astype(float)
+            else:
+                if col.size and (col.min() < 0 or col.max() >= attr.cardinality):
+                    raise ValueError(
+                        f"{attr.name}: values outside [0, {attr.cardinality - 1}]"
+                    )
+                self.columns[attr.name] = col.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of users (rows)."""
+        return len(self.columns[self.schema.names[0]])
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    def numeric_matrix(self) -> np.ndarray:
+        """(n, d_numeric) matrix normalized to [-1, 1], schema order."""
+        cols = [
+            normalize_to_unit(self.columns[a.name], a.low, a.high)
+            for a in self.schema.numeric
+        ]
+        if not cols:
+            return np.empty((self.n, 0))
+        return np.column_stack(cols)
+
+    def categorical_matrix(self) -> np.ndarray:
+        """(n, d_categorical) integer matrix, schema order."""
+        cols = [self.columns[a.name] for a in self.schema.categorical]
+        if not cols:
+            return np.empty((self.n, 0), dtype=np.int64)
+        return np.column_stack(cols)
+
+    # ------------------------------------------------------------------
+    def true_numeric_means(self) -> Dict[str, float]:
+        """Exact normalized means — the ground truth for Figs. 4-8."""
+        matrix = self.numeric_matrix()
+        return {
+            a.name: float(matrix[:, i].mean())
+            for i, a in enumerate(self.schema.numeric)
+        }
+
+    def true_categorical_frequencies(self) -> Dict[str, np.ndarray]:
+        """Exact per-value frequencies for every categorical attribute."""
+        return {
+            a.name: true_frequencies(self.columns[a.name], a.cardinality)
+            for a in self.schema.categorical
+        }
+
+    # ------------------------------------------------------------------
+    def subset(self, indices) -> "Dataset":
+        """Row subset (e.g. a cross-validation fold)."""
+        indices = np.asarray(indices)
+        return Dataset(
+            schema=self.schema,
+            columns={k: v[indices] for k, v in self.columns.items()},
+        )
+
+    def select_attributes(self, names: Sequence[str]) -> "Dataset":
+        """Column subset, preserving the given order."""
+        sub = self.schema.select(names)
+        return Dataset(
+            schema=sub, columns={name: self.columns[name] for name in names}
+        )
+
+    # ------------------------------------------------------------------
+    def to_erm_features(self, dependent: str) -> Tuple[np.ndarray, np.ndarray]:
+        """The Section VI-B design matrix.
+
+        Numeric attributes (except the dependent one) are normalized to
+        [-1, 1]; each categorical attribute with k values becomes k-1
+        binary columns.  Returns (X, y) with y the normalized dependent
+        numeric attribute.
+        """
+        dep_attr = self.schema[dependent]
+        if not dep_attr.is_numeric:
+            raise ValueError(f"dependent attribute {dependent!r} must be numeric")
+        features: List[np.ndarray] = []
+        for attr in self.schema.attributes:
+            if attr.name == dependent:
+                continue
+            if attr.is_numeric:
+                features.append(
+                    normalize_to_unit(
+                        self.columns[attr.name], attr.low, attr.high
+                    ).reshape(-1, 1)
+                )
+            else:
+                features.append(
+                    dummy_encode(self.columns[attr.name], attr.cardinality)
+                )
+        x = np.hstack(features) if features else np.empty((self.n, 0))
+        y = normalize_to_unit(
+            self.columns[dependent], dep_attr.low, dep_attr.high
+        )
+        return x, y

@@ -1,0 +1,108 @@
+"""Synthetic numeric workloads for the paper's Figs. 5 and 6.
+
+* :func:`truncated_gaussian_matrix` — d attributes, each N(mu, sigma^2)
+  with out-of-range draws discarded (the paper's Fig. 5 setup:
+  sigma = 1/4, mu in {0, 1/3, 2/3, 1}).
+* :func:`uniform_matrix` — Uniform[-1, 1] attributes (Fig. 6a).
+* :func:`power_law_matrix` — density proportional to (x + 2)^{-10} on
+  [-1, 1] (Fig. 6b), sampled by inverse-CDF.
+
+Each has a ``*_dataset`` twin wrapping the matrix in a
+:class:`~repro.data.schema.Dataset` with attributes already in [-1, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Dataset, NumericAttribute, Schema
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The paper's Fig. 6(b) power-law exponent: pdf(x) ~ (x + 2)^{-10}.
+POWER_LAW_EXPONENT = 10.0
+
+
+def truncated_gaussian_matrix(
+    n: int,
+    d: int,
+    mu: float,
+    sigma: float = 0.25,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """(n, d) iid N(mu, sigma^2) samples truncated (by rejection) to [-1, 1]."""
+    if n <= 0 or d <= 0:
+        raise ValueError(f"n and d must be positive, got n={n}, d={d}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    gen = ensure_rng(rng)
+    out = gen.normal(mu, sigma, size=(n, d))
+    bad = (out < -1.0) | (out > 1.0)
+    while np.any(bad):
+        out[bad] = gen.normal(mu, sigma, size=int(bad.sum()))
+        bad = (out < -1.0) | (out > 1.0)
+    return out
+
+
+def uniform_matrix(n: int, d: int, rng: RngLike = None) -> np.ndarray:
+    """(n, d) iid Uniform[-1, 1] samples."""
+    if n <= 0 or d <= 0:
+        raise ValueError(f"n and d must be positive, got n={n}, d={d}")
+    return ensure_rng(rng).uniform(-1.0, 1.0, size=(n, d))
+
+
+def power_law_matrix(
+    n: int,
+    d: int,
+    exponent: float = POWER_LAW_EXPONENT,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """(n, d) iid samples with pdf proportional to (x + 2)^{-exponent}.
+
+    Inverse-CDF sampling: on [-1, 1] with shift 2, (x + 2) ranges over
+    [1, 3].  For exponent a != 1, F(x) = (1 - (x+2)^{1-a}) / (1 - 3^{1-a}),
+    so F^{-1}(u) = (1 - u (1 - 3^{1-a}))^{1/(1-a)} - 2.
+    """
+    if n <= 0 or d <= 0:
+        raise ValueError(f"n and d must be positive, got n={n}, d={d}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    gen = ensure_rng(rng)
+    u = gen.random((n, d))
+    one_minus_a = 1.0 - exponent
+    tail = 1.0 - 3.0**one_minus_a
+    x = (1.0 - u * tail) ** (1.0 / one_minus_a) - 2.0
+    return np.clip(x, -1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Dataset wrappers
+# ----------------------------------------------------------------------
+
+
+def _matrix_dataset(matrix: np.ndarray, prefix: str) -> Dataset:
+    schema = Schema(
+        [NumericAttribute(f"{prefix}{j}") for j in range(matrix.shape[1])]
+    )
+    columns = {f"{prefix}{j}": matrix[:, j] for j in range(matrix.shape[1])}
+    return Dataset(schema=schema, columns=columns)
+
+
+def truncated_gaussian_dataset(
+    n: int, d: int, mu: float, sigma: float = 0.25, rng: RngLike = None
+) -> Dataset:
+    """Fig. 5 workload as a Dataset (attributes named g0..g{d-1})."""
+    return _matrix_dataset(
+        truncated_gaussian_matrix(n, d, mu, sigma, rng), "g"
+    )
+
+
+def uniform_dataset(n: int, d: int, rng: RngLike = None) -> Dataset:
+    """Fig. 6(a) workload as a Dataset (attributes named u0..u{d-1})."""
+    return _matrix_dataset(uniform_matrix(n, d, rng), "u")
+
+
+def power_law_dataset(
+    n: int, d: int, exponent: float = POWER_LAW_EXPONENT, rng: RngLike = None
+) -> Dataset:
+    """Fig. 6(b) workload as a Dataset (attributes named p0..p{d-1})."""
+    return _matrix_dataset(power_law_matrix(n, d, exponent, rng), "p")

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(config) -> List[Row]`` returning the measured
+series and ``main()`` printing the same rows the paper's artifact
+reports.  Run any of them from the command line::
+
+    python -m repro.experiments fig01
+    python -m repro.experiments all
+"""
+
+from repro.experiments import (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    table1,
+)
+from repro.experiments.erm import ERMConfig
+from repro.experiments.plotting import ascii_plot, sparkline
+from repro.experiments.results import Row, format_table, rows_to_series
+from repro.experiments.runner import EstimationConfig
+
+#: Registry of experiment id -> module with run()/main().
+EXPERIMENTS = {
+    "table1": table1,
+    "fig01": fig01,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "Row",
+    "ascii_plot",
+    "sparkline",
+    "format_table",
+    "rows_to_series",
+    "EstimationConfig",
+    "ERMConfig",
+]

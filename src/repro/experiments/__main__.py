@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+``<id>`` is a key of :data:`repro.experiments.EXPERIMENTS` (e.g.
+``fig01``, ``table1``) or ``all`` to run everything in order.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.plotting import ascii_plot
+
+
+def _maybe_plot(name, result) -> None:
+    """Render an ASCII chart for row-producing experiments."""
+    rows = result if isinstance(result, list) else []
+    if not rows or not all(hasattr(r, "value") for r in rows):
+        return
+    values = [r.value for r in rows]
+    log_y = all(v > 0 for v in values)
+    if not log_y and max(values) == min(values):
+        return
+    try:
+        print()
+        print(ascii_plot(rows, log_y=log_y, title=f"{name} (chart)"))
+    except ValueError:
+        pass  # non-plottable data; the table above suffices
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    plot = "--plot" in argv
+    argv = [a for a in argv if a != "--plot"]
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(EXPERIMENTS)
+        print(
+            "usage: python -m repro.experiments [--plot] <id>|all\n"
+            f"  ids: {names}"
+        )
+        return 0
+    target = argv[0]
+    if target == "all":
+        for name, module in EXPERIMENTS.items():
+            print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+            result = module.main()
+            if plot:
+                _maybe_plot(name, result)
+            print()
+        return 0
+    if target not in EXPERIMENTS:
+        print(f"unknown experiment {target!r}; available: {list(EXPERIMENTS)}")
+        return 2
+    result = EXPERIMENTS[target].main()
+    if plot:
+        _maybe_plot(target, result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

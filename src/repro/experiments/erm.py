@@ -1,0 +1,127 @@
+"""Shared harness for the Section VI-B ERM experiments (Figs. 9-11).
+
+Protocol (mirroring the paper): on BR-like and MX-like data, use
+"total_income" as the dependent attribute and everything else, with
+categorical attributes dummy-encoded, as features.  For classification
+tasks, income is binarized at its mean.  Every method is assessed with
+k-fold cross-validation; the paper uses 10-fold x 5 repeats, the default
+here is laptop-sized and configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.census import INCOME, make_br_like, make_mx_like
+from repro.experiments.results import Row
+from repro.sgd.crossval import cross_validate
+from repro.sgd.models import (
+    LinearRegression,
+    LogisticRegression,
+    SupportVectorMachine,
+)
+from repro.utils.rng import ensure_rng
+
+#: Perturbation methods compared in Figs. 9-11 (plus the non-private line).
+ERM_METHODS = ("laplace", "duchi", "pm", "hm")
+
+TASK_MODELS = {
+    "linear": LinearRegression,
+    "logistic": LogisticRegression,
+    "svm": SupportVectorMachine,
+}
+
+
+@dataclass
+class ERMConfig:
+    """Knobs shared by the Figs. 9-11 harnesses."""
+
+    n: int = 30_000
+    folds: int = 5
+    repeats: int = 1
+    epsilons: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+    seed: int = 2019
+    regularization: float = 1e-4
+
+
+def prepare_task_data(
+    dataset, task: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(X, y) for a task: dummy-encoded features, income as target.
+
+    Classification tasks binarize income at its mean into {-1, +1}
+    (Section VI-B).
+    """
+    x, y = dataset.to_erm_features(INCOME)
+    if TASK_MODELS[task].loss_name != "linear":
+        y = np.where(y > y.mean(), 1.0, -1.0)
+    return x, y
+
+
+def run_task(task: str, config: ERMConfig = None) -> List[Row]:
+    """Cross-validated error of every method on BR and MX.
+
+    Series are '<dataset>/<method>'; x is eps.  The non-private
+    reference appears once per dataset at every eps (a flat line, as in
+    the paper's figures).
+    """
+    if task not in TASK_MODELS:
+        raise ValueError(
+            f"task must be one of {tuple(TASK_MODELS)}, got {task!r}"
+        )
+    config = config or ERMConfig()
+    gen = ensure_rng(config.seed)
+    model_cls = TASK_MODELS[task]
+    experiment = {"logistic": "fig09", "svm": "fig10", "linear": "fig11"}[task]
+
+    rows: List[Row] = []
+    for ds_name, factory in (("BR", make_br_like), ("MX", make_mx_like)):
+        dataset = factory(config.n, rng=gen)
+        x, y = prepare_task_data(dataset, task)
+
+        non_private_scores = cross_validate(
+            lambda: model_cls(
+                epsilon=None, regularization=config.regularization
+            ),
+            x,
+            y,
+            k=config.folds,
+            repeats=config.repeats,
+            rng=gen,
+        )
+        non_private = float(np.mean(non_private_scores))
+
+        for eps in config.epsilons:
+            rows.append(
+                Row(
+                    experiment=experiment,
+                    series=f"{ds_name}/non-private",
+                    x=eps,
+                    value=non_private,
+                )
+            )
+            for method in ERM_METHODS:
+                scores = cross_validate(
+                    lambda: model_cls(
+                        epsilon=eps,
+                        method=method,
+                        regularization=config.regularization,
+                    ),
+                    x,
+                    y,
+                    k=config.folds,
+                    repeats=config.repeats,
+                    rng=gen,
+                )
+                rows.append(
+                    Row(
+                        experiment=experiment,
+                        series=f"{ds_name}/{method}",
+                        x=eps,
+                        value=float(np.mean(scores)),
+                    )
+                )
+    return rows

@@ -1,0 +1,69 @@
+"""Fig. 2 — the Piecewise Mechanism's output density for t in {0, 0.5, 1}.
+
+The paper's figure shows pdf(t* | t) as a 3-piece step function on
+[-C, C]: a plateau [l(t), r(t)] at height p and wings at height p/e^eps.
+``run`` samples the analytic pdf on a grid (and reports the plateau
+endpoints); an empirical histogram check lives in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.piecewise import PiecewiseMechanism
+from repro.experiments.results import Row, format_table
+
+DEFAULT_INPUTS = (0.0, 0.5, 1.0)
+
+
+def run(
+    epsilon: float = 1.0,
+    inputs: Sequence[float] = DEFAULT_INPUTS,
+    grid_size: int = 9,
+) -> List[Row]:
+    """Analytic pdf values of PM on a uniform grid over [-C, C]."""
+    pm = PiecewiseMechanism(epsilon)
+    grid = np.linspace(-pm.c, pm.c, grid_size)
+    rows: List[Row] = []
+    for t in inputs:
+        density = pm.pdf(grid, t)
+        for x, y in zip(grid, density):
+            rows.append(
+                Row(
+                    experiment="fig02",
+                    series=f"t={t:g}",
+                    x=float(round(x, 4)),
+                    value=float(y),
+                )
+            )
+    return rows
+
+
+def main() -> List[Row]:
+    epsilon = 1.0
+    pm = PiecewiseMechanism(epsilon)
+    print(
+        f"Fig. 2: PM output pdf at eps={epsilon} "
+        f"(C={pm.c:.4f}, p={pm.p:.4f}, wing density={pm.p / np.exp(epsilon):.4f})"
+    )
+    for t in DEFAULT_INPUTS:
+        print(
+            f"  t={t:>4g}: plateau [l, r] = "
+            f"[{float(pm.left(t)):+.4f}, {float(pm.right(t)):+.4f}]"
+        )
+    rows = run(epsilon)
+    print(
+        format_table(
+            rows,
+            title="pdf(t* = x | t) sampled on a uniform grid over [-C, C]:",
+            x_label="x",
+            value_format="{:.4f}",
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Fig. 10 — SVM misclassification rate vs eps (BR/MX).
+
+Expected shape: as Fig. 9; for moderate-to-large eps PM/HM approach the
+non-private reference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.erm import ERMConfig, run_task
+from repro.experiments.results import Row, format_table
+
+
+def run(config: ERMConfig = None) -> List[Row]:
+    return run_task("svm", config)
+
+
+def main(config: ERMConfig = None) -> List[Row]:
+    rows = run(config)
+    for ds_name in ("BR", "MX"):
+        subset = [r for r in rows if r.series.startswith(ds_name + "/")]
+        print(
+            format_table(
+                subset,
+                title=(
+                    f"Fig. 10 ({ds_name}): SVM misclassification rate "
+                    "vs privacy budget"
+                ),
+                x_label="eps",
+                value_format="{:.4f}",
+            )
+        )
+        print()
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Fig. 11 — linear regression MSE vs eps (BR/MX).
+
+The paper omits Laplace from this plot (its MSE is off the chart); we
+keep it for completeness.  Expected shape: PM/HM below Duchi at every
+eps, converging towards the non-private MSE.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.erm import ERMConfig, run_task
+from repro.experiments.results import Row, format_table
+
+
+def run(config: ERMConfig = None) -> List[Row]:
+    return run_task("linear", config)
+
+
+def main(config: ERMConfig = None) -> List[Row]:
+    rows = run(config)
+    for ds_name in ("BR", "MX"):
+        subset = [r for r in rows if r.series.startswith(ds_name + "/")]
+        print(
+            format_table(
+                subset,
+                title=(
+                    f"Fig. 11 ({ds_name}): linear regression MSE "
+                    "vs privacy budget"
+                ),
+                x_label="eps",
+                value_format="{:.4f}",
+            )
+        )
+        print()
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Terminal (ASCII) line charts for experiment results.
+
+The paper's figures are log-log MSE plots; this renders the same series
+as a character grid so `python -m repro.experiments figNN` shows shape
+at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.experiments.results import Row, rows_to_series
+
+#: Glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale plot requires positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    rows: Sequence[Row],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """Render rows as an ASCII chart (one marker glyph per series).
+
+    The y axis is log10 by default (the paper's MSE plots); x positions
+    are rank-spaced over the sorted distinct x values, matching the
+    paper's categorical eps axes.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    series = rows_to_series(rows)
+    xs = sorted({row.x for row in rows})
+    ys = [_transform(v, log_y) for m in series.values() for v in m.values()]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    x_pos = {
+        x: int(round(i * (width - 1) / max(len(xs) - 1, 1)))
+        for i, x in enumerate(xs)
+    }
+
+    legend = []
+    for marker, (name, curve) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker} = {name}")
+        for x, value in curve.items():
+            row_frac = (_transform(value, log_y) - y_min) / (y_max - y_min)
+            r = (height - 1) - int(round(row_frac * (height - 1)))
+            grid[r][x_pos[x]] = marker
+
+    y_top = f"1e{y_max:+.1f}" if log_y else f"{y_max:.3g}"
+    y_bottom = f"1e{y_min:+.1f}" if log_y else f"{y_min:.3g}"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_top:>10} ┐")
+    for r, grid_row in enumerate(grid):
+        lines.append(f"{'':>10} │{''.join(grid_row)}")
+    lines.append(f"{y_bottom:>10} ┘" + "─" * width)
+    tick_line = [" "] * width
+    for x in xs:
+        label = f"{x:g}"
+        start = min(x_pos[x], width - len(label))
+        for i, ch in enumerate(label):
+            tick_line[start + i] = ch
+    lines.append(f"{x_label:>10}  " + "".join(tick_line))
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """A one-line trend for quick printing: ▁▂▃▄▅▆▇█."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [_transform(v, log) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return blocks[0] * len(vals)
+    return "".join(
+        blocks[int(round((v - lo) / (hi - lo) * (len(blocks) - 1)))]
+        for v in vals
+    )

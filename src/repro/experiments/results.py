@@ -1,0 +1,69 @@
+"""Result rows and plain-text table rendering for the experiment harness.
+
+Every experiment module returns a list of :class:`Row` objects — one per
+(series, x) point, mirroring one line sample of the paper's plots — and
+``format_table`` renders them the way the paper's figures tabulate:
+series as rows, x values as columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Row:
+    """One measured point: series name, x-coordinate, y value."""
+
+    experiment: str
+    series: str
+    x: float
+    value: float
+    extra: tuple = field(default_factory=tuple)
+
+
+def rows_to_series(rows: Sequence[Row]) -> Dict[str, Dict[float, float]]:
+    """Group rows into {series: {x: value}}."""
+    out: Dict[str, Dict[float, float]] = {}
+    for row in rows:
+        out.setdefault(row.series, {})[row.x] = row.value
+    return out
+
+
+def format_table(
+    rows: Sequence[Row],
+    title: str = "",
+    x_label: str = "x",
+    value_format: str = "{:.3e}",
+) -> str:
+    """Render rows as an aligned text table (series x x-grid)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    series = rows_to_series(rows)
+    xs = sorted({row.x for row in rows})
+    name_width = max(len(s) for s in series) + 2
+    col_width = max(
+        max(len(value_format.format(v)) for m in series.values() for v in m.values()),
+        max(len(f"{x:g}") for x in xs),
+    ) + 2
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:<{name_width}}" + "".join(
+        f"{x:>{col_width}g}" for x in xs
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in series:
+        cells = []
+        for x in xs:
+            if x in series[name]:
+                cells.append(
+                    f"{value_format.format(series[name][x]):>{col_width}}"
+                )
+            else:
+                cells.append(f"{'-':>{col_width}}")
+        lines.append(f"{name:<{name_width}}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Table I — worst-case noise variance ordering of HM, PM and Duchi.
+
+Reproduces the paper's regime table:
+
+    d > 1, eps > 0:            MaxVarHM < MaxVarPM < MaxVarDu
+    d = 1, eps > eps#:         MaxVarHM < MaxVarPM < MaxVarDu
+    d = 1, eps = eps#:         MaxVarHM < MaxVarPM = MaxVarDu
+    d = 1, eps* < eps < eps#:  MaxVarHM < MaxVarDu < MaxVarPM
+    d = 1, 0 < eps <= eps*:    MaxVarHM = MaxVarDu < MaxVarPM
+
+``run`` evaluates the three worst-case variances at representative
+epsilons in each regime (and several d for the d > 1 block) and checks
+the predicted ordering; ``main`` prints the verification table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.theory.constants import EPSILON_SHARP, EPSILON_STAR
+from repro.theory.variance import (
+    duchi_1d_worst_variance,
+    duchi_md_worst_variance,
+    hm_md_worst_variance,
+    hm_worst_variance,
+    pm_md_worst_variance,
+    pm_worst_variance,
+)
+
+#: Comparison tolerance for "equal" cells of the table.
+EQUAL_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RegimeCheck:
+    """One verified cell of Table I."""
+
+    regime: str
+    d: int
+    epsilon: float
+    var_hm: float
+    var_pm: float
+    var_duchi: float
+    expected: str
+    holds: bool
+
+
+def _ordering(var_hm: float, var_pm: float, var_duchi: float) -> str:
+    """Symbolic ordering string like 'HM < PM < Du' with ties detected."""
+
+    def rel(a: float, b: float) -> str:
+        if math.isclose(a, b, rel_tol=EQUAL_RTOL):
+            return "="
+        return "<" if a < b else ">"
+
+    pairs = sorted(
+        [("HM", var_hm), ("PM", var_pm), ("Du", var_duchi)],
+        key=lambda item: item[1],
+    )
+    return (
+        f"{pairs[0][0]} {rel(pairs[0][1], pairs[1][1])} "
+        f"{pairs[1][0]} {rel(pairs[1][1], pairs[2][1])} {pairs[2][0]}"
+    )
+
+
+def run(dimensions=(2, 5, 10, 40)) -> List[RegimeCheck]:
+    """Verify every regime of Table I; returns one check per case."""
+    checks: List[RegimeCheck] = []
+
+    # --- d = 1 regimes -------------------------------------------------
+    one_d_cases = [
+        ("eps > eps#", EPSILON_SHARP * 1.5, "HM < PM < Du"),
+        ("eps > eps#", 4.0, "HM < PM < Du"),
+        ("eps = eps#", EPSILON_SHARP, "HM < PM = Du"),
+        ("eps* < eps < eps#", (EPSILON_STAR + EPSILON_SHARP) / 2.0, "HM < Du < PM"),
+        ("0 < eps <= eps*", EPSILON_STAR, "HM = Du < PM"),
+        ("0 < eps <= eps*", 0.3, "HM = Du < PM"),
+    ]
+    for regime, eps, expected in one_d_cases:
+        var_hm = hm_worst_variance(eps)
+        var_pm = pm_worst_variance(eps)
+        var_du = duchi_1d_worst_variance(eps)
+        observed = _ordering(var_hm, var_pm, var_du)
+        checks.append(
+            RegimeCheck(
+                regime=regime,
+                d=1,
+                epsilon=eps,
+                var_hm=var_hm,
+                var_pm=var_pm,
+                var_duchi=var_du,
+                expected=expected,
+                holds=(observed == expected),
+            )
+        )
+
+    # --- d > 1: HM < PM < Du everywhere --------------------------------
+    for d in dimensions:
+        for eps in (0.3, EPSILON_STAR, 1.0, EPSILON_SHARP, 2.0, 4.0, 8.0):
+            var_hm = hm_md_worst_variance(eps, d)
+            var_pm = pm_md_worst_variance(eps, d)
+            var_du = duchi_md_worst_variance(eps, d)
+            observed = _ordering(var_hm, var_pm, var_du)
+            checks.append(
+                RegimeCheck(
+                    regime="d > 1",
+                    d=d,
+                    epsilon=eps,
+                    var_hm=var_hm,
+                    var_pm=var_pm,
+                    var_duchi=var_du,
+                    expected="HM < PM < Du",
+                    holds=(observed == "HM < PM < Du"),
+                )
+            )
+    return checks
+
+
+def main() -> List[RegimeCheck]:
+    """Print the Table I verification and return the checks."""
+    checks = run()
+    print(f"Table I verification (eps* = {EPSILON_STAR:.4f}, "
+          f"eps# = {EPSILON_SHARP:.4f})")
+    header = (
+        f"{'regime':<20}{'d':>4}{'eps':>9}{'MaxVarHM':>13}"
+        f"{'MaxVarPM':>13}{'MaxVarDu':>13}  {'expected':<16}{'holds'}"
+    )
+    print(header)
+    print("-" * len(header))
+    for c in checks:
+        print(
+            f"{c.regime:<20}{c.d:>4}{c.epsilon:>9.4f}{c.var_hm:>13.5f}"
+            f"{c.var_pm:>13.5f}{c.var_duchi:>13.5f}  {c.expected:<16}"
+            f"{'yes' if c.holds else 'NO'}"
+        )
+    return checks
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Categorical frequency oracles (GRR, SUE, OUE, OLH) and encodings.
+
+OUE (optimized unary encoding) is the oracle the paper plugs into its
+mixed-attribute collector; the others serve as ablation baselines.
+"""
+
+from repro.frequency.encoders import dummy_encode, one_hot, true_frequencies
+from repro.frequency.grr import GeneralizedRandomizedResponse
+from repro.frequency.histogram import (
+    HistogramEstimate,
+    LDPHistogram,
+    true_histogram,
+)
+from repro.frequency.olh import OLHReports, OptimizedLocalHashing
+from repro.frequency.postprocess import (
+    clip_and_normalize,
+    least_squares_simplex,
+    norm_sub,
+    postprocess,
+)
+from repro.frequency.oracle import (
+    FrequencyOracle,
+    available_oracles,
+    get_oracle,
+)
+from repro.frequency.unary import (
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    UnaryEncodingOracle,
+)
+
+__all__ = [
+    "FrequencyOracle",
+    "available_oracles",
+    "get_oracle",
+    "GeneralizedRandomizedResponse",
+    "SymmetricUnaryEncoding",
+    "OptimizedUnaryEncoding",
+    "UnaryEncodingOracle",
+    "OptimizedLocalHashing",
+    "OLHReports",
+    "LDPHistogram",
+    "HistogramEstimate",
+    "true_histogram",
+    "postprocess",
+    "norm_sub",
+    "clip_and_normalize",
+    "least_squares_simplex",
+    "one_hot",
+    "dummy_encode",
+    "true_frequencies",
+]

@@ -1,0 +1,54 @@
+"""Categorical encodings used across the package.
+
+* :func:`one_hot` — full k-column indicator encoding (used when treating
+  value frequencies as mean estimation, Section II).
+* :func:`dummy_encode` — the paper's Section VI-B transform for empirical
+  risk minimization: a k-valued attribute becomes k-1 binary attributes,
+  where value l < k-1 sets column l and the last value sets no column.
+* :func:`true_frequencies` — exact frequency vector of a value array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_categorical(values, k: int) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(values))
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError("categorical values must be integers")
+        arr = arr.astype(np.int64)
+    if int(k) < 2:
+        raise ValueError(f"domain size k must be >= 2, got {k}")
+    if arr.size and (arr.min() < 0 or arr.max() >= k):
+        raise ValueError(
+            f"values must lie in [0, {k - 1}], observed "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr.astype(np.int64)
+
+
+def one_hot(values, k: int) -> np.ndarray:
+    """Full one-hot (n, k) 0/1 matrix for values in {0, ..., k-1}."""
+    arr = _check_categorical(values, k)
+    out = np.zeros((arr.shape[0], int(k)), dtype=np.float64)
+    out[np.arange(arr.shape[0]), arr] = 1.0
+    return out
+
+
+def dummy_encode(values, k: int) -> np.ndarray:
+    """The paper's ERM encoding: (n, k-1) matrix, last category -> zeros.
+
+    Value l in {0, ..., k-2} sets column l to 1; value k-1 is the
+    reference category represented by the all-zero row (Section VI-B).
+    """
+    return one_hot(values, k)[:, : int(k) - 1]
+
+
+def true_frequencies(values, k: int) -> np.ndarray:
+    """Exact frequency (fraction of users) of every domain value."""
+    arr = _check_categorical(values, k)
+    if arr.size == 0:
+        raise ValueError("cannot compute frequencies of an empty array")
+    return np.bincount(arr, minlength=int(k)).astype(float) / arr.shape[0]

@@ -1,0 +1,51 @@
+"""Generalized Randomized Response (k-ary randomized response).
+
+The direct generalization of Warner's 1965 randomized response: report
+the true value with probability p = e^eps / (e^eps + k - 1), otherwise a
+uniformly random *other* value.  Support for v means "the report equals
+v", so q = 1 / (e^eps + k - 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.frequency.oracle import FrequencyOracle, register_oracle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@register_oracle
+class GeneralizedRandomizedResponse(FrequencyOracle):
+    """k-ary randomized response ('direct encoding')."""
+
+    name = "grr"
+
+    @property
+    def support_probabilities(self) -> Tuple[float, float]:
+        e = math.exp(self.epsilon)
+        return e / (e + self.k - 1.0), 1.0 / (e + self.k - 1.0)
+
+    def privatize(self, values, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        truth = self._check_values(values)
+        p, _ = self.support_probabilities
+        keep = gen.random(truth.shape) < p
+        # A uniform draw over the k-1 *other* values: draw over k-1 slots
+        # and shift those at or above the true value up by one.
+        others = gen.integers(0, self.k - 1, size=truth.shape)
+        others = np.where(others >= truth, others + 1, others)
+        return np.where(keep, truth, others)
+
+    def support_counts(self, reports) -> np.ndarray:
+        reports = np.asarray(reports, dtype=np.int64)
+        return np.bincount(reports, minlength=self.k).astype(float)
+
+    def output_probabilities(self, value: int) -> np.ndarray:
+        """Exact report pmf given the true value; used by the DP tests."""
+        p, q = self.support_probabilities
+        pmf = np.full(self.k, q)
+        pmf[value] = p
+        return pmf

@@ -1,0 +1,137 @@
+"""Abstract interface for single-attribute categorical frequency oracles.
+
+A frequency oracle perturbs one categorical value from a finite domain
+{0, 1, ..., k-1} under eps-LDP and lets the aggregator estimate the
+frequency (fraction of users) of every domain value.
+
+The key method for composition with the paper's Section IV-C collector is
+:meth:`debiased_counts`: it returns, for each domain value v, the sum
+over reports of an *unbiased per-report indicator* of "this user's true
+value is v".  The plain frequency estimate is that sum divided by the
+number of reports; the sampled multidimensional collector instead divides
+by n and multiplies by d/k (Section IV-C's estimator).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from repro.core.validation import check_epsilon
+from repro.utils.rng import RngLike
+
+
+class FrequencyOracle(abc.ABC):
+    """Base class for eps-LDP categorical frequency oracles.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget per report.
+    k:
+        Domain size; true values are integers in {0, ..., k-1}.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, epsilon: float, k: int):
+        self.epsilon = check_epsilon(epsilon)
+        k = int(k)
+        if k < 2:
+            raise ValueError(f"domain size k must be >= 2, got {k}")
+        self.k = k
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def privatize(self, values, rng: RngLike = None):
+        """Perturb an array of true values; returns mechanism-specific
+        reports (integers for GRR, bit matrices for UE variants, ...)."""
+
+    @abc.abstractmethod
+    def support_counts(self, reports) -> np.ndarray:
+        """Raw count, per domain value v, of reports that 'support' v."""
+
+    @property
+    @abc.abstractmethod
+    def support_probabilities(self) -> Tuple[float, float]:
+        """(p, q): probability a report supports v when the true value is
+        v (p) versus some other value (q)."""
+
+    # ------------------------------------------------------------------
+    def debiased_counts(self, reports) -> np.ndarray:
+        """Sum over reports of the unbiased indicator (support - q)/(p - q)."""
+        p, q = self.support_probabilities
+        counts = self.support_counts(reports)
+        n_reports = self._n_reports(reports)
+        return (counts - n_reports * q) / (p - q)
+
+    def estimate_frequencies(self, reports) -> np.ndarray:
+        """Unbiased frequency estimates over the reporting users."""
+        n_reports = self._n_reports(reports)
+        if n_reports == 0:
+            raise ValueError("cannot estimate frequencies from zero reports")
+        return self.debiased_counts(reports) / n_reports
+
+    def estimator_variance(self, n: int, f: float = 0.0) -> float:
+        """Variance of a single frequency estimate from n reports.
+
+        Var = q(1-q)/(n (p-q)^2) + f (1 - p - q)/(n (p - q)), the standard
+        decomposition for support-based estimators (Wang et al. 2017);
+        ``f`` is the true frequency (0 gives the dominant term).
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        p, q = self.support_probabilities
+        return q * (1.0 - q) / (n * (p - q) ** 2) + f * (1.0 - p - q) / (
+            n * (p - q)
+        )
+
+    def _n_reports(self, reports) -> int:
+        return len(reports)
+
+    def _check_values(self, values) -> np.ndarray:
+        arr = np.atleast_1d(np.asarray(values))
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(arr == np.floor(arr)):
+                raise ValueError("categorical values must be integers")
+            arr = arr.astype(np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.k):
+            raise ValueError(
+                f"values must lie in [0, {self.k - 1}], observed "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr.astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self.epsilon!r}, k={self.k})"
+
+
+_ORACLE_REGISTRY: Dict[str, Type[FrequencyOracle]] = {}
+
+
+def register_oracle(cls: Type[FrequencyOracle]) -> Type[FrequencyOracle]:
+    """Class decorator adding an oracle to the name registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a unique 'name'")
+    if cls.name in _ORACLE_REGISTRY:
+        raise ValueError(f"duplicate oracle name {cls.name!r}")
+    _ORACLE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_oracles() -> Tuple[str, ...]:
+    """Names of all registered frequency oracles."""
+    return tuple(sorted(_ORACLE_REGISTRY))
+
+
+def get_oracle(name: str, epsilon: float, k: int, **kwargs) -> FrequencyOracle:
+    """Instantiate a registered oracle by name ('grr', 'sue', 'oue', 'olh')."""
+    try:
+        cls = _ORACLE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle {name!r}; available: {available_oracles()}"
+        ) from None
+    return cls(epsilon, k, **kwargs)

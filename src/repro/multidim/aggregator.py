@@ -1,0 +1,62 @@
+"""Estimate containers and accuracy metrics for multidimensional collection.
+
+The paper's Section VI-A reports two MSE numbers per configuration: the
+MSE of estimated means over the numeric attributes, and the MSE of
+estimated value frequencies over all (categorical attribute, value)
+pairs.  :class:`MixedEstimates` carries both estimate families and
+computes those metrics against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class MixedEstimates:
+    """Mean estimates for numeric attributes + frequency tables for
+    categorical attributes."""
+
+    means: Dict[str, float] = field(default_factory=dict)
+    frequencies: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def mean_mse(self, truth: Dict[str, float]) -> float:
+        """MSE over numeric attribute means vs ground truth."""
+        if not self.means:
+            raise ValueError("no numeric mean estimates present")
+        missing = set(self.means) - set(truth)
+        if missing:
+            raise KeyError(f"truth missing attributes: {sorted(missing)}")
+        errors = [
+            (self.means[name] - truth[name]) ** 2 for name in self.means
+        ]
+        return float(np.mean(errors))
+
+    def frequency_mse(self, truth: Dict[str, np.ndarray]) -> float:
+        """MSE over all (categorical attribute, value) frequency cells."""
+        if not self.frequencies:
+            raise ValueError("no frequency estimates present")
+        cells = []
+        for name, est in self.frequencies.items():
+            if name not in truth:
+                raise KeyError(f"truth missing attribute {name!r}")
+            true_vec = np.asarray(truth[name], dtype=float)
+            est = np.asarray(est, dtype=float)
+            if est.shape != true_vec.shape:
+                raise ValueError(
+                    f"{name}: estimate shape {est.shape} vs truth "
+                    f"{true_vec.shape}"
+                )
+            cells.append((est - true_vec) ** 2)
+        return float(np.mean(np.concatenate(cells)))
+
+    def max_mean_error(self, truth: Dict[str, float]) -> float:
+        """max_j |Z[A_j] - X[A_j]| — the Lemma 5 quantity."""
+        if not self.means:
+            raise ValueError("no numeric mean estimates present")
+        return float(
+            max(abs(self.means[name] - truth[name]) for name in self.means)
+        )

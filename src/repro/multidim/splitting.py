@@ -1,0 +1,126 @@
+"""The Section VI-A "best-effort" composition baseline.
+
+No pre-existing solution handles mixed numeric + categorical tuples, so
+the paper compares against the natural composition-based combination:
+with d = d_n + d_c attributes, allocate eps * d_n / d of the budget to
+the numeric block and eps * d_c / d to the categorical block, then
+
+* numeric block: either Duchi et al.'s multidimensional Algorithm 3 on
+  the whole block (budget eps d_n / d), or an independent 1-D mechanism
+  (Laplace / SCDF / Staircase / Duchi 1-D) per attribute at eps/d each;
+* categorical block: an independent frequency oracle (OUE) per attribute
+  at eps/d each.
+
+By the composition theorem the total satisfies eps-LDP.  Every user
+reports *every* attribute — there is no sampling, which is exactly why
+this baseline's error grows super-linearly with d.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.duchi import DuchiMultidimMechanism
+from repro.core.mechanism import get_mechanism
+from repro.core.validation import check_epsilon
+from repro.data.schema import Dataset, Schema
+from repro.frequency.oracle import get_oracle
+from repro.multidim.aggregator import MixedEstimates
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SplitCompositionBaseline:
+    """Budget-splitting baseline over a mixed schema.
+
+    Parameters
+    ----------
+    schema:
+        Attribute schema.
+    epsilon:
+        Total budget per user.
+    numeric_method:
+        "duchi" applies Algorithm 3 jointly to the numeric block; any
+        registered 1-D mechanism name ("laplace", "scdf", "staircase",
+        "pm", "hm") is applied per-attribute at eps/d.
+    oracle:
+        Frequency oracle name, applied per categorical attribute at eps/d.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        epsilon: float,
+        numeric_method: str = "laplace",
+        oracle: str = "oue",
+    ):
+        self.schema = schema
+        self.epsilon = check_epsilon(epsilon)
+        self.numeric_method = numeric_method
+        self.oracle_name = oracle
+        d = schema.d
+        d_num = len(schema.numeric)
+        self.per_attribute_budget = self.epsilon / d
+        self.numeric_budget = self.epsilon * d_num / d if d_num else 0.0
+
+        if d_num and numeric_method == "duchi":
+            self._duchi_md: Optional[DuchiMultidimMechanism] = (
+                DuchiMultidimMechanism(self.numeric_budget, d_num)
+            )
+            self._mechanism = None
+        elif d_num:
+            self._duchi_md = None
+            self._mechanism = get_mechanism(
+                numeric_method, self.per_attribute_budget
+            )
+        else:
+            self._duchi_md = None
+            self._mechanism = None
+
+        self.oracles = {
+            a.name: get_oracle(oracle, self.per_attribute_budget, a.cardinality)
+            for a in schema.categorical
+        }
+
+    # ------------------------------------------------------------------
+    def collect(self, dataset: Dataset, rng: RngLike = None) -> MixedEstimates:
+        """Perturb every attribute of every user and aggregate."""
+        if dataset.schema.names != self.schema.names:
+            raise ValueError("dataset schema does not match baseline schema")
+        gen = ensure_rng(rng)
+
+        means: Dict[str, float] = {}
+        numeric_attrs = self.schema.numeric
+        if numeric_attrs:
+            matrix = dataset.numeric_matrix()
+            if self._duchi_md is not None:
+                reports = self._duchi_md.privatize(matrix, gen)
+            else:
+                reports = np.column_stack(
+                    [
+                        self._mechanism.privatize(matrix[:, i], gen)
+                        for i in range(matrix.shape[1])
+                    ]
+                )
+            col_means = reports.mean(axis=0)
+            means = {
+                a.name: float(col_means[i])
+                for i, a in enumerate(numeric_attrs)
+            }
+
+        frequencies: Dict[str, np.ndarray] = {}
+        cat_matrix = dataset.categorical_matrix()
+        for i, attr in enumerate(self.schema.categorical):
+            oracle = self.oracles[attr.name]
+            reports = oracle.privatize(cat_matrix[:, i], gen)
+            frequencies[attr.name] = oracle.estimate_frequencies(reports)
+
+        return MixedEstimates(means=means, frequencies=frequencies)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SplitCompositionBaseline(d={self.schema.d}, "
+            f"epsilon={self.epsilon!r}, numeric={self.numeric_method!r}, "
+            f"oracle={self.oracle_name!r})"
+        )

@@ -1,0 +1,55 @@
+"""LDP-compliant stochastic gradient descent (the paper's Section V)."""
+
+from repro.sgd.crossval import cross_validate, k_fold_indices
+from repro.sgd.losses import (
+    HingeLoss,
+    LinearRegressionLoss,
+    LogisticRegressionLoss,
+    Loss,
+    get_loss,
+)
+from repro.sgd.metrics import accuracy, mean_squared_error, misclassification_rate
+from repro.sgd.mlp import MLPClassifier, MLPLoss
+from repro.sgd.models import (
+    ERMModel,
+    LinearRegression,
+    LogisticRegression,
+    SupportVectorMachine,
+)
+from repro.sgd.schedules import constant, inverse_sqrt, inverse_time
+from repro.sgd.trainer import (
+    GRADIENT_METHODS,
+    LDPSGDTrainer,
+    NonPrivateSGDTrainer,
+    TrainingHistory,
+    clip_gradients,
+    default_group_size,
+)
+
+__all__ = [
+    "Loss",
+    "LinearRegressionLoss",
+    "LogisticRegressionLoss",
+    "HingeLoss",
+    "get_loss",
+    "inverse_sqrt",
+    "constant",
+    "inverse_time",
+    "LDPSGDTrainer",
+    "NonPrivateSGDTrainer",
+    "TrainingHistory",
+    "clip_gradients",
+    "default_group_size",
+    "GRADIENT_METHODS",
+    "ERMModel",
+    "MLPClassifier",
+    "MLPLoss",
+    "LinearRegression",
+    "LogisticRegression",
+    "SupportVectorMachine",
+    "mean_squared_error",
+    "misclassification_rate",
+    "accuracy",
+    "cross_validate",
+    "k_fold_indices",
+]

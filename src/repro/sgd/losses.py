@@ -1,0 +1,159 @@
+"""Loss functions for the paper's three ERM tasks (Section V).
+
+Each loss knows its per-sample value and per-sample gradient with respect
+to the parameter vector beta:
+
+* linear regression:   l(b; x, y) = (x.b - y)^2
+* logistic regression: l(b; x, y) = log(1 + exp(-y x.b)),  y in {-1, +1}
+* SVM (hinge):         l(b; x, y) = max(0, 1 - y x.b),     y in {-1, +1}
+
+The L2 regularizer lambda/2 ||b||^2 is added by the trainer, matching the
+paper's l'(b; x, y) = l(b; x, y) + lambda/2 ||b||^2.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+import numpy as np
+
+
+class Loss(abc.ABC):
+    """A per-sample loss with value, gradient and prediction rule."""
+
+    name: str = "abstract"
+
+    #: Whether labels live in {-1, +1} (classification) or [-1, 1].
+    binary_labels: bool = False
+
+    @abc.abstractmethod
+    def value(self, beta: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-sample loss values, shape (n,)."""
+
+    @abc.abstractmethod
+    def gradient(self, beta: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-sample gradients d l / d beta, shape (n, p)."""
+
+    @abc.abstractmethod
+    def predict(self, beta: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Predictions for feature matrix x."""
+
+    def mean_value(self, beta: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """Average loss over all samples."""
+        return float(self.value(beta, x, y).mean())
+
+    # -- parameterization hooks (overridden by non-linear models) -------
+    def parameter_dim(self, n_features: int) -> int:
+        """Length of the parameter vector for n_features inputs."""
+        return n_features
+
+    def initial_parameters(self, n_features: int, rng=None) -> np.ndarray:
+        """Starting point for SGD (zeros for the convex losses)."""
+        return np.zeros(self.parameter_dim(n_features))
+
+    def _check(self, beta: np.ndarray, x: np.ndarray, y: np.ndarray):
+        beta = np.asarray(beta, dtype=float)
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be (n, p), got ndim={x.ndim}")
+        if beta.shape != (self.parameter_dim(x.shape[1]),):
+            raise ValueError(
+                f"beta shape {beta.shape} incompatible with x {x.shape}"
+            )
+        if y.shape != (x.shape[0],):
+            raise ValueError(f"y shape {y.shape} incompatible with x {x.shape}")
+        return beta, x, y
+
+
+class LinearRegressionLoss(Loss):
+    """Squared loss (x.b - y)^2; gradient 2 (x.b - y) x."""
+
+    name = "linear"
+    binary_labels = False
+
+    def value(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        return (x @ beta - y) ** 2
+
+    def gradient(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        residual = x @ beta - y
+        return 2.0 * residual[:, None] * x
+
+    def predict(self, beta, x):
+        return np.asarray(x, dtype=float) @ np.asarray(beta, dtype=float)
+
+
+class LogisticRegressionLoss(Loss):
+    """Logistic loss log(1 + e^{-y x.b}); gradient -y sigma(-y x.b) x."""
+
+    name = "logistic"
+    binary_labels = True
+
+    def value(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        margins = y * (x @ beta)
+        # log(1 + e^{-m}) computed stably for both signs of m.
+        return np.logaddexp(0.0, -margins)
+
+    def gradient(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        margins = y * (x @ beta)
+        # sigma(-m) = 1 / (1 + e^{m}); e^{-|m|} never overflows, and
+        # sigma(-m) = e^{-m}/(1+e^{-m}) for m >= 0, 1/(1+e^{m}) for m < 0.
+        exp_neg_abs = np.exp(-np.abs(margins))
+        sig = np.where(
+            margins >= 0,
+            exp_neg_abs / (1.0 + exp_neg_abs),
+            1.0 / (1.0 + exp_neg_abs),
+        )
+        return (-y * sig)[:, None] * x
+
+    def predict(self, beta, x):
+        """Class predictions in {-1, +1}."""
+        scores = np.asarray(x, dtype=float) @ np.asarray(beta, dtype=float)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+    def predict_proba(self, beta, x):
+        """P[y = +1 | x] under the logistic model."""
+        scores = np.asarray(x, dtype=float) @ np.asarray(beta, dtype=float)
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
+
+
+class HingeLoss(Loss):
+    """SVM hinge loss max(0, 1 - y x.b); subgradient -y x on the margin."""
+
+    name = "svm"
+    binary_labels = True
+
+    def value(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        return np.maximum(0.0, 1.0 - y * (x @ beta))
+
+    def gradient(self, beta, x, y):
+        beta, x, y = self._check(beta, x, y)
+        active = (y * (x @ beta)) < 1.0
+        return np.where(active[:, None], (-y)[:, None] * x, 0.0)
+
+    def predict(self, beta, x):
+        """Class predictions in {-1, +1}."""
+        scores = np.asarray(x, dtype=float) @ np.asarray(beta, dtype=float)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+
+_LOSSES: Dict[str, Type[Loss]] = {
+    cls.name: cls
+    for cls in (LinearRegressionLoss, LogisticRegressionLoss, HingeLoss)
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss by name: 'linear', 'logistic' or 'svm'."""
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown loss {name!r}; available: {tuple(sorted(_LOSSES))}"
+        ) from None

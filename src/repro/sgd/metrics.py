@@ -1,0 +1,36 @@
+"""Evaluation metrics for the Section VI-B experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_squared_error(predictions, truth) -> float:
+    """Regression MSE (Fig. 11's metric)."""
+    predictions = np.asarray(predictions, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if predictions.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {truth.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot score empty predictions")
+    return float(np.mean((predictions - truth) ** 2))
+
+
+def misclassification_rate(predictions, truth) -> float:
+    """Fraction of wrong class predictions (Figs. 9-10's metric)."""
+    predictions = np.asarray(predictions)
+    truth = np.asarray(truth)
+    if predictions.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {truth.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot score empty predictions")
+    return float(np.mean(predictions != truth))
+
+
+def accuracy(predictions, truth) -> float:
+    """1 - misclassification rate."""
+    return 1.0 - misclassification_rate(predictions, truth)

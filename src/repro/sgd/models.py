@@ -1,0 +1,123 @@
+"""High-level model wrappers around the SGD trainers.
+
+These provide the scikit-learn-flavoured fit/predict surface used by the
+examples and the Section VI-B experiment harnesses.  Each model fits with
+either the LDP trainer (``epsilon`` given) or the non-private trainer
+(``epsilon=None``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sgd.losses import get_loss
+from repro.sgd.metrics import mean_squared_error, misclassification_rate
+from repro.sgd.schedules import Schedule
+from repro.sgd.trainer import LDPSGDTrainer, NonPrivateSGDTrainer
+from repro.utils.rng import RngLike
+
+
+class ERMModel:
+    """Base fit/predict wrapper over one of the three losses."""
+
+    loss_name: str = "abstract"
+
+    #: Default inverse-sqrt learning rate, tuned per loss (logistic
+    #: gradients are an order of magnitude smaller than hinge/squared).
+    default_eta: float = 0.3
+
+    def __init__(
+        self,
+        epsilon: Optional[float] = None,
+        method: str = "hm",
+        regularization: float = 1e-4,
+        group_size: Optional[int] = None,
+        schedule: Optional[Schedule] = None,
+        clip_bound: float = 1.0,
+    ):
+        if schedule is None:
+            from repro.sgd.schedules import inverse_sqrt
+
+            schedule = inverse_sqrt(self.default_eta)
+        self.epsilon = epsilon
+        self.loss = self._make_loss()
+        if epsilon is None:
+            self.trainer = NonPrivateSGDTrainer(
+                self.loss,
+                regularization=regularization,
+                schedule=schedule,
+                group_size=group_size if group_size else 64,
+            )
+        else:
+            self.trainer = LDPSGDTrainer(
+                self.loss,
+                epsilon=epsilon,
+                method=method,
+                group_size=group_size,
+                regularization=regularization,
+                schedule=schedule,
+                clip_bound=clip_bound,
+            )
+        self.beta: Optional[np.ndarray] = None
+
+    def _make_loss(self):
+        """Build the Loss instance; subclasses with configured losses
+        (e.g. the MLP) override this instead of using the registry."""
+        return get_loss(self.loss_name)
+
+    def fit(self, x, y, rng: RngLike = None) -> "ERMModel":
+        """Train on (x, y); returns self for chaining."""
+        self.beta = self.trainer.fit(x, y, rng)
+        return self
+
+    def _require_fitted(self):
+        if self.beta is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def predict(self, x) -> np.ndarray:
+        self._require_fitted()
+        return self.loss.predict(self.beta, x)
+
+    def score(self, x, y) -> float:
+        """Task-appropriate error (lower is better)."""
+        raise NotImplementedError
+
+
+class LinearRegression(ERMModel):
+    """Linear regression trained by (LDP-)SGD; scored by MSE (Fig. 11)."""
+
+    loss_name = "linear"
+    default_eta = 0.3
+
+    def score(self, x, y) -> float:
+        return mean_squared_error(self.predict(x), np.asarray(y, dtype=float))
+
+
+class LogisticRegression(ERMModel):
+    """Logistic regression; scored by misclassification rate (Fig. 9)."""
+
+    loss_name = "logistic"
+    default_eta = 2.0
+
+    def score(self, x, y) -> float:
+        return misclassification_rate(
+            self.predict(x), np.asarray(y, dtype=float)
+        )
+
+    def predict_proba(self, x) -> np.ndarray:
+        self._require_fitted()
+        return self.loss.predict_proba(self.beta, x)
+
+
+class SupportVectorMachine(ERMModel):
+    """Linear SVM (hinge loss); scored by misclassification rate (Fig. 10)."""
+
+    loss_name = "svm"
+    default_eta = 1.0
+
+    def score(self, x, y) -> float:
+        return misclassification_rate(
+            self.predict(x), np.asarray(y, dtype=float)
+        )

@@ -1,0 +1,51 @@
+"""Learning-rate schedules for (LDP-)SGD.
+
+The paper uses the common gamma_t = O(1/sqrt(t)) schedule (Section V).
+Schedules are callables t -> gamma_t with t starting at 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+Schedule = Callable[[int], float]
+
+
+def inverse_sqrt(eta: float = 0.1) -> Schedule:
+    """gamma_t = eta / sqrt(t) — the paper's choice."""
+    if eta <= 0:
+        raise ValueError(f"eta must be positive, got {eta}")
+
+    def schedule(t: int) -> float:
+        if t < 1:
+            raise ValueError(f"iteration index starts at 1, got {t}")
+        return eta / math.sqrt(t)
+
+    return schedule
+
+
+def constant(eta: float = 0.05) -> Schedule:
+    """gamma_t = eta."""
+    if eta <= 0:
+        raise ValueError(f"eta must be positive, got {eta}")
+
+    def schedule(t: int) -> float:
+        if t < 1:
+            raise ValueError(f"iteration index starts at 1, got {t}")
+        return eta
+
+    return schedule
+
+
+def inverse_time(eta: float = 0.5, decay: float = 0.1) -> Schedule:
+    """gamma_t = eta / (1 + decay * t)."""
+    if eta <= 0 or decay <= 0:
+        raise ValueError("eta and decay must be positive")
+
+    def schedule(t: int) -> float:
+        if t < 1:
+            raise ValueError(f"iteration index starts at 1, got {t}")
+        return eta / (1.0 + decay * t)
+
+    return schedule

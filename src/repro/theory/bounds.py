@@ -1,0 +1,61 @@
+"""Concrete versions of the paper's error bounds (Lemmas 2 and 5).
+
+Both lemmas are of the form |Z - X| = O(sqrt(d log(d/beta)) / (eps
+sqrt(n))) with probability >= 1 - beta.  The O(.) hides the mechanism's
+worst-case variance; here we expose the explicit sub-Gaussian radius the
+Bernstein argument yields, so experiments can plot measured error against
+a concrete envelope.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.validation import check_dimension, check_epsilon
+from repro.theory.variance import (
+    hm_md_worst_variance,
+    hm_worst_variance,
+    pm_md_worst_variance,
+    pm_worst_variance,
+)
+from repro.utils.stats import confidence_radius
+
+
+def mean_error_bound_1d(
+    eps: float, n: int, beta: float = 0.05, mechanism: str = "pm"
+) -> float:
+    """Lemma 2 radius for the 1-D mean estimator of n reports."""
+    eps = check_epsilon(eps)
+    if mechanism == "pm":
+        var = pm_worst_variance(eps)
+    elif mechanism == "hm":
+        var = hm_worst_variance(eps)
+    else:
+        raise ValueError(f"mechanism must be 'pm' or 'hm', got {mechanism!r}")
+    return confidence_radius(var, n, beta)
+
+
+def mean_error_bound_md(
+    eps: float, d: int, n: int, beta: float = 0.05, mechanism: str = "hm"
+) -> float:
+    """Lemma 5 radius: max-over-attributes error with a union bound."""
+    eps = check_epsilon(eps)
+    d = check_dimension(d)
+    if mechanism == "pm":
+        var = pm_md_worst_variance(eps, d)
+    elif mechanism == "hm":
+        var = hm_md_worst_variance(eps, d)
+    else:
+        raise ValueError(f"mechanism must be 'pm' or 'hm', got {mechanism!r}")
+    # Union bound over the d attributes: beta -> beta / d.
+    return confidence_radius(var, n, beta / d)
+
+
+def asymptotic_md_error(eps: float, d: int, n: int) -> float:
+    """The paper's asymptotic rate sqrt(d log d) / (eps sqrt n), for shape
+    comparisons (no constants)."""
+    eps = check_epsilon(eps)
+    d = check_dimension(d)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return math.sqrt(d * math.log(max(d, 2))) / (eps * math.sqrt(n))

@@ -1,0 +1,125 @@
+"""Closed-form constants from the paper.
+
+This module is pure math (no dependency on the mechanism classes) so the
+core package can import it freely:
+
+* ``EPSILON_STAR`` — the threshold eps* ~= 0.61 of Eq. (6) below which the
+  Hybrid Mechanism degenerates to Duchi et al.'s solution.
+* ``EPSILON_SHARP`` — the crossover eps# ~= 1.29 of Table I where PM's and
+  Duchi et al.'s worst-case 1-D variances coincide.
+* ``duchi_cd`` / ``duchi_b`` — the constants C_d (Eq. 9) and B (Eq. 10)
+  of Duchi et al.'s multidimensional Algorithm 3.
+* ``hybrid_alpha`` — the optimal PM-mixing weight alpha of Eq. (7).
+* ``optimal_k`` — the attribute-sampling parameter k of Eq. (12).
+* ``pm_c`` / ``pm_p`` — the Piecewise Mechanism's output bound C and
+  plateau density p.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.validation import check_dimension, check_epsilon
+
+
+def _epsilon_star_closed_form() -> float:
+    """eps* per Eq. (6): the real root of HM's alpha-switching cubic."""
+    s = math.sqrt(241.0)
+    inner = (
+        -5.0
+        + 2.0 * (6353.0 - 405.0 * s) ** (1.0 / 3.0)
+        + 2.0 * (6353.0 + 405.0 * s) ** (1.0 / 3.0)
+    ) / 27.0
+    return math.log(inner)
+
+
+def _epsilon_sharp_closed_form() -> float:
+    """eps# per Table I: ln((7 + 4 sqrt 7 + 2 sqrt(20 + 14 sqrt 7)) / 9)."""
+    s7 = math.sqrt(7.0)
+    return math.log((7.0 + 4.0 * s7 + 2.0 * math.sqrt(20.0 + 14.0 * s7)) / 9.0)
+
+
+#: eps* ~= 0.61 (Eq. 6). For eps <= eps*, HM uses alpha = 0.
+EPSILON_STAR: float = _epsilon_star_closed_form()
+
+#: eps# ~= 1.29 (Table I). For eps > eps#, PM beats Duchi in worst case.
+EPSILON_SHARP: float = _epsilon_sharp_closed_form()
+
+
+def pm_c(epsilon: float) -> float:
+    """PM's output bound C = (e^{eps/2} + 1)/(e^{eps/2} - 1)."""
+    epsilon = check_epsilon(epsilon)
+    e_half = math.exp(epsilon / 2.0)
+    return (e_half + 1.0) / (e_half - 1.0)
+
+
+def pm_p(epsilon: float) -> float:
+    """PM's plateau density p = (e^eps - e^{eps/2}) / (2 e^{eps/2} + 2)."""
+    epsilon = check_epsilon(epsilon)
+    e_half = math.exp(epsilon / 2.0)
+    return (e_half * e_half - e_half) / (2.0 * e_half + 2.0)
+
+
+def hybrid_alpha(epsilon: float) -> float:
+    """Optimal coin-head probability alpha for HM (Eq. 7).
+
+    alpha = 1 - e^{-eps/2} for eps > eps*, else 0 (pure Duchi).
+    """
+    epsilon = check_epsilon(epsilon)
+    if epsilon > EPSILON_STAR:
+        return 1.0 - math.exp(-epsilon / 2.0)
+    return 0.0
+
+
+def optimal_k(epsilon: float, d: int) -> int:
+    """Number of attributes each user reports (Eq. 12).
+
+    k = max(1, min(d, floor(eps / 2.5))) balances the per-attribute
+    budget eps/k against the d/k sampling inflation.
+    """
+    epsilon = check_epsilon(epsilon)
+    d = check_dimension(d)
+    return max(1, min(d, int(math.floor(epsilon / 2.5))))
+
+
+def duchi_cd(d: int, tie_breaking: str = "shared") -> float:
+    """The combinatorial constant C_d of Eq. (9).
+
+    C_d = 2^{d-1} / binom(d-1, (d-1)/2)                      if d odd,
+    C_d = (2^{d-1} + binom(d, d/2)/2) / binom(d-1, d/2)       if d even.
+
+    The two formulas correspond to how boundary sign vectors (those with
+    t* . v = 0, which exist only for even d) are treated:
+
+    * ``tie_breaking="shared"`` — Algorithm 3 as printed in the paper:
+      boundary tuples belong to *both* halfspaces T+ and T-.  This is the
+      Eq. (9) value above.  For even d the resulting mechanism's
+      worst-case probability ratio is e^eps + 1 rather than e^eps (ties
+      receive mass from both branches), i.e. it is ln(e^eps + 1)-LDP.
+    * ``tie_breaking="split"`` — Duchi et al.'s original construction:
+      each boundary tuple is assigned to T+ or T- with probability 1/2.
+      This restores exact eps-LDP for even d; the matching unbiasedness
+      constant becomes C_d = 2^{d-1} / binom(d-1, floor(d/2)) (the
+      boundary's symmetric contribution to E[t*] cancels).
+
+    For odd d there are no ties and the two variants coincide.
+    """
+    d = check_dimension(d)
+    if tie_breaking not in ("shared", "split"):
+        raise ValueError(
+            f"tie_breaking must be 'shared' or 'split', got {tie_breaking!r}"
+        )
+    if d % 2 == 1:
+        return 2.0 ** (d - 1) / math.comb(d - 1, (d - 1) // 2)
+    if tie_breaking == "split":
+        return 2.0 ** (d - 1) / math.comb(d - 1, d // 2)
+    return (2.0 ** (d - 1) + 0.5 * math.comb(d, d // 2)) / math.comb(
+        d - 1, d // 2
+    )
+
+
+def duchi_b(epsilon: float, d: int, tie_breaking: str = "shared") -> float:
+    """The output magnitude B of Eq. (10): (e^eps+1)/(e^eps-1) * C_d."""
+    epsilon = check_epsilon(epsilon)
+    e = math.exp(epsilon)
+    return (e + 1.0) / (e - 1.0) * duchi_cd(d, tie_breaking)

@@ -1,0 +1,201 @@
+"""Closed-form noise variances from the paper, as pure functions.
+
+These are implemented *independently* of the mechanism classes (straight
+from the paper's equations) so the test suite can cross-check each
+mechanism's ``variance()`` method against them.  They also power the
+theory figures: Fig. 1 (1-D worst-case variance vs eps), Fig. 3
+(multidimensional worst-case variance ratios) and Table I (regime
+ordering).
+
+Notation: ``t`` is the true value in [-1, 1], ``eps`` the privacy budget,
+``d`` the number of attributes and ``k`` the number of sampled attributes
+(Eq. 12 by default).
+
+One deliberate deviation: the paper's Eq. (15), second branch
+(eps/k <= eps*), prints the t^2 coefficient as (d/k - 1).  Deriving from
+first principles — Var[t*_j] = (d/k) E[x^2] - t^2 with E[x^2] = bound^2
+for Duchi's binary output — gives coefficient -1.  We implement the
+first-principles value; the two agree at the worst case t = 0, which is
+all Table I / Corollary 2 use.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.validation import check_dimension, check_epsilon
+from repro.theory.constants import (
+    EPSILON_STAR,
+    duchi_b,
+    hybrid_alpha,
+    optimal_k,
+)
+
+# ----------------------------------------------------------------------
+# One-dimensional mechanisms (Section III)
+# ----------------------------------------------------------------------
+
+
+def laplace_variance(eps: float) -> float:
+    """Laplace mechanism noise variance 8/eps^2 (input-independent)."""
+    eps = check_epsilon(eps)
+    return 8.0 / eps**2
+
+
+def duchi_1d_variance(t, eps: float) -> np.ndarray:
+    """Eq. (4): ((e^eps+1)/(e^eps-1))^2 - t^2."""
+    eps = check_epsilon(eps)
+    t = np.asarray(t, dtype=float)
+    e = math.exp(eps)
+    return ((e + 1.0) / (e - 1.0)) ** 2 - t**2
+
+
+def duchi_1d_worst_variance(eps: float) -> float:
+    """Worst case of Eq. (4), attained at t = 0."""
+    return float(duchi_1d_variance(0.0, eps))
+
+
+def pm_variance(t, eps: float) -> np.ndarray:
+    """Lemma 1: t^2/(e^{eps/2}-1) + (e^{eps/2}+3)/(3 (e^{eps/2}-1)^2)."""
+    eps = check_epsilon(eps)
+    t = np.asarray(t, dtype=float)
+    e_half = math.exp(eps / 2.0)
+    return t**2 / (e_half - 1.0) + (e_half + 3.0) / (3.0 * (e_half - 1.0) ** 2)
+
+
+def pm_worst_variance(eps: float) -> float:
+    """Worst case of Lemma 1 (t = +-1): 4 e^{eps/2}/(3 (e^{eps/2}-1)^2)."""
+    eps = check_epsilon(eps)
+    e_half = math.exp(eps / 2.0)
+    return 4.0 * e_half / (3.0 * (e_half - 1.0) ** 2)
+
+
+def hm_variance(t, eps: float, alpha: float = None) -> np.ndarray:
+    """HM variance: alpha * Var_PM + (1 - alpha) * Var_Duchi."""
+    eps = check_epsilon(eps)
+    if alpha is None:
+        alpha = hybrid_alpha(eps)
+    t = np.asarray(t, dtype=float)
+    return alpha * pm_variance(t, eps) + (1.0 - alpha) * duchi_1d_variance(
+        t, eps
+    )
+
+
+def hm_worst_variance(eps: float) -> float:
+    """Eq. (8): HM's worst-case variance at the optimal alpha."""
+    eps = check_epsilon(eps)
+    if eps > EPSILON_STAR:
+        e_half = math.exp(eps / 2.0)
+        e_full = math.exp(eps)
+        return (e_half + 3.0) / (3.0 * e_half * (e_half - 1.0)) + (
+            e_full + 1.0
+        ) ** 2 / (e_half * (e_full - 1.0) ** 2)
+    return duchi_1d_worst_variance(eps)
+
+
+def piecewise_constant_noise_variance(eps: float, m: float, a: float) -> float:
+    """Variance of the Eq. (2) noise density with plateau (m, a).
+
+    Shared by SCDF and Staircase; evaluated by geometric series.
+    """
+    eps = check_epsilon(eps)
+    total = m**3 / 3.0
+    j = 0
+    while True:
+        lo = m + 2.0 * j
+        hi = lo + 2.0
+        term = math.exp(-eps * (j + 1)) * (hi**3 - lo**3) / 3.0
+        total += term
+        if term < 1e-18 * max(total, 1.0) or j > 100_000:
+            break
+        j += 1
+    return 2.0 * a * total
+
+
+def scdf_variance(eps: float) -> float:
+    """SCDF noise variance (input-independent)."""
+    eps = check_epsilon(eps)
+    a = eps / 4.0
+    one_minus = 1.0 - math.exp(-eps)
+    m = 2.0 * (one_minus - eps * math.exp(-eps)) / (eps * one_minus)
+    return piecewise_constant_noise_variance(eps, m, a)
+
+
+def staircase_variance(eps: float) -> float:
+    """Staircase noise variance (input-independent)."""
+    eps = check_epsilon(eps)
+    m = 2.0 / (1.0 + math.exp(eps / 2.0))
+    e_neg = math.exp(-eps)
+    a = (1.0 - e_neg) / (2.0 * m + 4.0 * e_neg - 2.0 * m * e_neg)
+    return piecewise_constant_noise_variance(eps, m, a)
+
+
+# ----------------------------------------------------------------------
+# Multidimensional mechanisms (Section IV)
+# ----------------------------------------------------------------------
+
+
+def duchi_md_variance(t, eps: float, d: int) -> np.ndarray:
+    """Eq. (13): per-coordinate variance of Algorithm 3, B^2 - t^2."""
+    t = np.asarray(t, dtype=float)
+    return duchi_b(eps, d) ** 2 - t**2
+
+
+def duchi_md_worst_variance(eps: float, d: int) -> float:
+    """Worst case of Eq. (13), at t = 0."""
+    return float(duchi_md_variance(0.0, eps, d))
+
+
+def pm_md_variance(t, eps: float, d: int, k: int = None) -> np.ndarray:
+    """Eq. (14): per-coordinate variance of Algorithm 4 with PM inside."""
+    eps = check_epsilon(eps)
+    d = check_dimension(d)
+    if k is None:
+        k = optimal_k(eps, d)
+    t = np.asarray(t, dtype=float)
+    e = math.exp(eps / (2.0 * k))
+    constant = d * (e + 3.0) / (3.0 * k * (e - 1.0) ** 2)
+    coeff = d * e / (k * (e - 1.0)) - 1.0
+    return constant + coeff * t**2
+
+
+def pm_md_worst_variance(eps: float, d: int, k: int = None) -> float:
+    """Worst case of Eq. (14); the t^2 coefficient is positive so t = 1."""
+    return float(pm_md_variance(1.0, eps, d, k))
+
+
+def hm_md_variance(t, eps: float, d: int, k: int = None) -> np.ndarray:
+    """Eq. (15): per-coordinate variance of Algorithm 4 with HM inside."""
+    eps = check_epsilon(eps)
+    d = check_dimension(d)
+    if k is None:
+        k = optimal_k(eps, d)
+    t = np.asarray(t, dtype=float)
+    eps_k = eps / k
+    ratio = d / k
+    if eps_k > EPSILON_STAR:
+        return ratio * hm_worst_variance(eps_k) + (ratio - 1.0) * t**2
+    e = math.exp(eps_k)
+    bound_sq = ((e + 1.0) / (e - 1.0)) ** 2
+    # First-principles second branch; see module docstring.
+    return ratio * bound_sq - t**2
+
+
+def hm_md_worst_variance(eps: float, d: int, k: int = None) -> float:
+    """Worst case of Eq. (15) over t in [-1, 1]."""
+    candidates = hm_md_variance(np.array([0.0, 1.0]), eps, d, k)
+    return float(np.max(candidates))
+
+
+def worst_variance_ratio_vs_duchi(
+    eps: float, d: int, mechanism: str = "hm"
+) -> float:
+    """Fig. 3's quantity: MaxVar_{PM|HM} / MaxVar_Duchi for dimension d."""
+    denom = duchi_md_worst_variance(eps, d)
+    if mechanism == "pm":
+        return pm_md_worst_variance(eps, d) / denom
+    if mechanism == "hm":
+        return hm_md_worst_variance(eps, d) / denom
+    raise ValueError(f"mechanism must be 'pm' or 'hm', got {mechanism!r}")

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling and small statistical helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    confidence_radius,
+    empirical_mse,
+    mean_and_sem,
+    running_mean,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "confidence_radius",
+    "empirical_mse",
+    "mean_and_sem",
+    "running_mean",
+]

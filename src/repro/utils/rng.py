@@ -1,0 +1,58 @@
+"""Random number generator plumbing.
+
+Every public API in this package accepts an ``rng`` argument that may be
+
+* ``None`` — a fresh, OS-seeded :class:`numpy.random.Generator`,
+* an ``int`` — a deterministic seed, or
+* an existing :class:`numpy.random.Generator` — used as-is.
+
+Centralizing the coercion here keeps each mechanism's signature small and
+makes every experiment reproducible by threading one seed through it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an integer seed, or an existing generator.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator ready for sampling.  If a generator was passed in, the
+        very same object is returned so that state advances are visible to
+        the caller.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy.random.Generator, got {type(rng)!r}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Useful for running repeated trials of an experiment where each trial
+    must be statistically independent yet the whole sweep reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,64 @@
+"""Small statistical helpers shared by aggregators and experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+def empirical_mse(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Mean squared error between an estimate vector and the ground truth.
+
+    This is the accuracy metric used throughout the paper's Section VI
+    (Figs. 4-8 report MSE over attribute means / value frequencies).
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if estimates.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: estimates {estimates.shape} vs truth {truth.shape}"
+        )
+    if estimates.size == 0:
+        raise ValueError("cannot compute MSE of empty arrays")
+    return float(np.mean((estimates - truth) ** 2))
+
+
+def mean_and_sem(samples: Iterable[float]) -> Tuple[float, float]:
+    """Sample mean and standard error of the mean."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1) / math.sqrt(arr.size))
+
+
+def confidence_radius(
+    worst_case_variance: float, n: int, beta: float = 0.05
+) -> float:
+    """Bernstein-style high-probability radius for a mean of n reports.
+
+    Lemma 2 / Lemma 5 of the paper state |Z - X| = O(sqrt(log(1/beta)) /
+    (eps * sqrt(n))).  This helper exposes the concrete (non-asymptotic)
+    sub-Gaussian radius sqrt(2 * Var * ln(2/beta) / n) that the proof's
+    Bernstein inequality yields for bounded, independent reports.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < beta < 1:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")
+    if worst_case_variance < 0:
+        raise ValueError("variance must be non-negative")
+    return math.sqrt(2.0 * worst_case_variance * math.log(2.0 / beta) / n)
+
+
+def running_mean(values: np.ndarray) -> np.ndarray:
+    """Cumulative mean of a 1-D array; handy for convergence plots."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("running_mean expects a 1-D array")
+    if values.size == 0:
+        return values.copy()
+    return np.cumsum(values) / np.arange(1, values.size + 1)

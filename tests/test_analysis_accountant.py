@@ -1,0 +1,82 @@
+"""Tests for the per-user privacy budget accountant."""
+
+import pytest
+
+from repro.analysis.accountant import (
+    BudgetExceededError,
+    PrivacyAccountant,
+)
+
+
+class TestCharging:
+    def test_initial_state(self):
+        acc = PrivacyAccountant(lifetime_epsilon=4.0)
+        assert acc.spent("u1") == 0.0
+        assert acc.remaining("u1") == 4.0
+
+    def test_charge_accumulates(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0, "mean query")
+        acc.charge("u1", 2.0, "freq query")
+        assert acc.spent("u1") == pytest.approx(3.0)
+        assert acc.remaining("u1") == pytest.approx(1.0)
+
+    def test_overdraft_rejected_and_state_unchanged(self):
+        acc = PrivacyAccountant(2.0)
+        acc.charge("u1", 1.5)
+        with pytest.raises(BudgetExceededError):
+            acc.charge("u1", 1.0)
+        assert acc.spent("u1") == pytest.approx(1.5)
+
+    def test_exact_exhaustion_allowed(self):
+        acc = PrivacyAccountant(2.0)
+        acc.charge("u1", 2.0)
+        assert acc.remaining("u1") == pytest.approx(0.0)
+        assert "u1" in acc.exhausted_users()
+
+    def test_users_independent(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("u1", 1.0)
+        assert acc.can_charge("u2", 1.0)
+        assert not acc.can_charge("u1", 0.5)
+
+    def test_invalid_epsilon_rejected(self):
+        acc = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError):
+            acc.charge("u1", 0.0)
+        with pytest.raises(ValueError):
+            PrivacyAccountant(-1.0)
+
+
+class TestGroupCharging:
+    def test_only_funded_users_charged(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("u1", 1.0)  # exhausted
+        charged = acc.charge_group(["u1", "u2", "u3"], 0.5, "sgd iter 1")
+        assert charged == ("u2", "u3")
+
+    def test_sgd_single_participation_pattern(self):
+        """The Section V pattern: with lifetime = per-iteration eps,
+        every user participates in exactly one iteration."""
+        acc = PrivacyAccountant(1.0)
+        users = [f"u{i}" for i in range(10)]
+        first = acc.charge_group(users, 1.0, "iter 1")
+        second = acc.charge_group(users, 1.0, "iter 2")
+        assert len(first) == 10
+        assert second == ()
+
+
+class TestLedger:
+    def test_ledger_records_everything(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0, "a")
+        acc.charge("u2", 2.0, "b")
+        assert len(acc.ledger) == 2
+        assert acc.ledger[0].label == "a"
+        assert acc.total_spent() == pytest.approx(3.0)
+
+    def test_ledger_is_immutable_view(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0)
+        ledger = acc.ledger
+        assert isinstance(ledger, tuple)

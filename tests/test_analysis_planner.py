@@ -1,0 +1,95 @@
+"""Tests for the sample-size / budget planner."""
+
+import pytest
+
+from repro.analysis.planner import (
+    compare_mechanisms,
+    required_epsilon,
+    required_users,
+    worst_case_variance,
+)
+from repro.theory.variance import hm_md_worst_variance, hm_worst_variance
+
+
+class TestWorstCaseVariance:
+    def test_dispatch_1d(self):
+        assert worst_case_variance(1.0, "hm") == pytest.approx(
+            hm_worst_variance(1.0)
+        )
+
+    def test_dispatch_md(self):
+        assert worst_case_variance(1.0, "hm", d=8) == pytest.approx(
+            hm_md_worst_variance(1.0, 8)
+        )
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            worst_case_variance(1.0, "exponential")
+        with pytest.raises(ValueError):
+            worst_case_variance(1.0, "laplace", d=4)  # no multi-d laplace
+
+
+class TestRequiredUsers:
+    def test_tighter_target_needs_more_users(self):
+        loose = required_users(1.0, 0.05).required_n
+        tight = required_users(1.0, 0.01).required_n
+        assert tight > loose
+        # Quadratic scaling in the target error.
+        assert tight == pytest.approx(25 * loose, rel=0.01)
+
+    def test_more_budget_needs_fewer_users(self):
+        assert (
+            required_users(4.0, 0.01).required_n
+            < required_users(0.5, 0.01).required_n
+        )
+
+    def test_hm_needs_fewest_users_1d_large_eps(self):
+        plans = compare_mechanisms(4.0, 0.01)
+        assert plans["hm"].required_n == min(
+            p.required_n for p in plans.values()
+        )
+
+    def test_md_ordering_matches_corollary2(self):
+        plans = compare_mechanisms(2.0, 0.05, d=10)
+        assert (
+            plans["hm"].required_n
+            < plans["pm"].required_n
+            < plans["duchi"].required_n
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            required_users(1.0, 0.0)
+        with pytest.raises(ValueError):
+            required_users(1.0, 0.01, beta=1.5)
+
+    def test_plan_fields(self):
+        plan = required_users(2.0, 0.02, "pm", d=4, beta=0.1)
+        assert plan.mechanism == "pm"
+        assert plan.d == 4
+        assert plan.required_n >= 1
+
+
+class TestRequiredEpsilon:
+    def test_roundtrip_with_required_users(self):
+        """required_epsilon inverts required_users (within bisection
+        tolerance): planning n users at the returned eps meets the target."""
+        target, beta = 0.02, 0.05
+        n = required_users(1.0, target, "hm", beta=beta).required_n
+        eps = required_epsilon(n, target, "hm", beta=beta)
+        assert eps <= 1.0 + 1e-6
+        # And the eps found indeed achieves the target with those users.
+        assert required_users(eps, target, "hm", beta=beta).required_n <= n
+
+    def test_more_users_need_less_budget(self):
+        assert required_epsilon(100_000, 0.01) < required_epsilon(
+            10_000, 0.01
+        )
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            required_epsilon(10, 1e-6)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            required_epsilon(0, 0.01)

@@ -1,0 +1,247 @@
+"""Tests for Duchi et al.'s 1-D (Alg. 1) and multi-dim (Alg. 3) solutions."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DuchiMechanism, DuchiMultidimMechanism
+from repro.theory.constants import duchi_b, duchi_cd
+
+
+class TestOneDimensional:
+    def test_output_is_binary(self, rng):
+        mech = DuchiMechanism(1.0)
+        out = mech.privatize(rng.uniform(-1, 1, 10_000), rng)
+        assert set(np.unique(out)) == {-mech.bound, mech.bound}
+
+    def test_bound_value(self, epsilon):
+        e = math.exp(epsilon)
+        assert DuchiMechanism(epsilon).bound == pytest.approx(
+            (e + 1.0) / (e - 1.0)
+        )
+
+    def test_head_probability_endpoints(self, epsilon):
+        mech = DuchiMechanism(epsilon)
+        e = math.exp(epsilon)
+        assert float(mech.head_probability(1.0)) == pytest.approx(
+            e / (e + 1.0)
+        )
+        assert float(mech.head_probability(-1.0)) == pytest.approx(
+            1.0 / (e + 1.0)
+        )
+        assert float(mech.head_probability(0.0)) == pytest.approx(0.5)
+
+    def test_exact_unbiasedness_from_pmf(self, epsilon):
+        """E[t*] computed from the exact pmf equals t for a grid of t."""
+        mech = DuchiMechanism(epsilon)
+        for t in np.linspace(-1, 1, 9):
+            pmf = mech.output_probabilities(float(t))
+            expected = sum(v * p for v, p in pmf.items())
+            assert expected == pytest.approx(float(t), abs=1e-12)
+
+    def test_exact_variance_from_pmf_matches_eq4(self, epsilon):
+        mech = DuchiMechanism(epsilon)
+        for t in (-1.0, -0.3, 0.0, 0.8):
+            pmf = mech.output_probabilities(t)
+            second_moment = sum(v**2 * p for v, p in pmf.items())
+            assert second_moment - t**2 == pytest.approx(
+                float(mech.variance(t)), abs=1e-12
+            )
+
+    def test_ldp_ratio_exact(self, epsilon):
+        """max over outputs/inputs of the pmf ratio is exactly e^eps
+        (attained at t = 1 vs t' = -1)."""
+        mech = DuchiMechanism(epsilon)
+        worst = 0.0
+        for t, t_prime in itertools.product((-1.0, -0.5, 0.0, 0.5, 1.0), repeat=2):
+            p = mech.output_probabilities(t)
+            q = mech.output_probabilities(t_prime)
+            for v in p:
+                worst = max(worst, p[v] / q[v])
+        assert worst <= math.exp(epsilon) * (1 + 1e-12)
+        assert worst == pytest.approx(math.exp(epsilon), rel=1e-9)
+
+    def test_variance_increases_as_magnitude_decreases(self):
+        mech = DuchiMechanism(1.0)
+        assert float(mech.variance(0.0)) > float(mech.variance(0.9))
+
+
+class TestCd:
+    def test_d1(self):
+        assert duchi_cd(1) == pytest.approx(1.0)
+
+    def test_d2(self):
+        # (2^1 + binom(2,1)/2) / binom(1,1) = (2 + 1) / 1 = 3.
+        assert duchi_cd(2) == pytest.approx(3.0)
+
+    def test_d3(self):
+        # 2^2 / binom(2,1) = 4 / 2 = 2.
+        assert duchi_cd(3) == pytest.approx(2.0)
+
+    def test_d4(self):
+        # (2^3 + binom(4,2)/2) / binom(3,2) = (8 + 3) / 3.
+        assert duchi_cd(4) == pytest.approx(11.0 / 3.0)
+
+    def test_grows_like_sqrt_d(self):
+        # C_d ~ sqrt(pi d / 2) asymptotically; check the trend.
+        ratios = [duchi_cd(d) / math.sqrt(d) for d in (11, 41, 101)]
+        assert max(ratios) - min(ratios) < 0.2
+
+    def test_b_scales_cd(self, epsilon):
+        e = math.exp(epsilon)
+        assert duchi_b(epsilon, 5) == pytest.approx(
+            (e + 1.0) / (e - 1.0) * duchi_cd(5)
+        )
+
+
+class TestMultidimensional:
+    def test_output_entries_are_pm_b(self, rng):
+        mech = DuchiMultidimMechanism(1.0, 4)
+        out = mech.privatize(rng.uniform(-1, 1, (2_000, 4)), rng)
+        magnitudes = np.unique(np.abs(out))
+        assert magnitudes.shape == (1,)
+        assert magnitudes[0] == pytest.approx(mech.b)
+
+    def test_single_tuple_roundtrip(self, rng):
+        mech = DuchiMultidimMechanism(1.0, 3)
+        out = mech.privatize(np.zeros(3), rng)
+        assert out.shape == (3,)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 5, 8])
+    def test_unbiased_per_coordinate(self, d, rng):
+        mech = DuchiMultidimMechanism(2.0, d)
+        t = np.tile(np.linspace(-0.8, 0.8, d), (60_000, 1))
+        out = mech.privatize(t, rng)
+        sem = mech.b / math.sqrt(60_000)
+        assert np.all(np.abs(out.mean(axis=0) - t[0]) < 6.0 * sem)
+
+    def test_empirical_variance_matches_eq13(self, rng):
+        mech = DuchiMultidimMechanism(1.0, 4)
+        t = np.tile([0.0, 0.5, -0.5, 1.0], (80_000, 1))
+        out = mech.privatize(t, rng)
+        for j in range(4):
+            want = float(mech.variance(t[0, j]))
+            assert np.var(out[:, j]) == pytest.approx(want, rel=0.05)
+
+    @staticmethod
+    def _exact_pmf(t, epsilon, d, tie_breaking):
+        """Exact output pmf of Algorithm 3 for small d, both tie modes.
+
+        "shared": boundary corners (s.v = 0) belong to both halfspaces
+        (each halfspace has |interior| + |boundary| members, weight 1).
+        "split": boundary corners carry weight 1/2 in each halfspace
+        (total weight 2^{d-1} per halfspace).
+        """
+        e = math.exp(epsilon)
+        outputs = list(itertools.product((-1.0, 1.0), repeat=d))
+        probs = {s: 0.0 for s in outputs}
+        for v in itertools.product((-1.0, 1.0), repeat=d):
+            pv = 1.0
+            for j in range(d):
+                pv *= 0.5 + 0.5 * t[j] * v[j]
+            if pv == 0.0:
+                continue
+            dots = {s: float(np.dot(s, v)) for s in outputs}
+            tie_weight = 1.0 if tie_breaking == "shared" else 0.5
+            w_plus = {
+                s: (1.0 if dot > 0 else (tie_weight if dot == 0 else 0.0))
+                for s, dot in dots.items()
+            }
+            w_minus = {
+                s: (1.0 if dot < 0 else (tie_weight if dot == 0 else 0.0))
+                for s, dot in dots.items()
+            }
+            total_plus = sum(w_plus.values())
+            total_minus = sum(w_minus.values())
+            for s in outputs:
+                probs[s] += pv * (
+                    (e / (e + 1.0)) * w_plus[s] / total_plus
+                    + (1.0 / (e + 1.0)) * w_minus[s] / total_minus
+                )
+        return probs
+
+    def test_split_ties_exactly_ldp_even_d(self):
+        """The 'split' variant satisfies the eps ratio bound for d = 2."""
+        epsilon, d = 1.0, 2
+        e = math.exp(epsilon)
+        grid = [(-1.0, 1.0), (0.0, 0.0), (0.5, -0.5), (1.0, 1.0), (1.0, -1.0)]
+        for t, t_prime in itertools.product(grid, repeat=2):
+            p = self._exact_pmf(t, epsilon, d, "split")
+            q = self._exact_pmf(t_prime, epsilon, d, "split")
+            for s in p:
+                assert p[s] <= e * q[s] * (1 + 1e-9)
+
+    def test_shared_ties_ratio_is_e_eps_plus_one_even_d(self):
+        """Algorithm 3 as printed: for even d the worst-case ratio is
+        e^eps + 1, not e^eps (boundary corners get mass from both
+        branches).  This documents why the 'split' variant exists."""
+        epsilon, d = 1.0, 2
+        e = math.exp(epsilon)
+        worst = 0.0
+        grid = [(-1.0, 1.0), (1.0, 1.0), (1.0, -1.0), (-1.0, -1.0)]
+        for t, t_prime in itertools.product(grid, repeat=2):
+            p = self._exact_pmf(t, epsilon, d, "shared")
+            q = self._exact_pmf(t_prime, epsilon, d, "shared")
+            for s in p:
+                if q[s] > 0:
+                    worst = max(worst, p[s] / q[s])
+        assert worst == pytest.approx(e + 1.0, rel=1e-9)
+
+    def test_shared_ties_exactly_ldp_odd_d(self):
+        """For odd d there are no ties; Algorithm 3 is exactly eps-LDP."""
+        epsilon, d = 1.0, 3
+        e = math.exp(epsilon)
+        grid = [(-1.0, 1.0, 0.5), (0.0, 0.0, 0.0), (1.0, 1.0, 1.0),
+                (1.0, -1.0, -1.0)]
+        for t, t_prime in itertools.product(grid, repeat=2):
+            p = self._exact_pmf(t, epsilon, d, "shared")
+            q = self._exact_pmf(t_prime, epsilon, d, "shared")
+            for s in p:
+                assert p[s] <= e * q[s] * (1 + 1e-9)
+
+    @pytest.mark.parametrize("tie_breaking", ["shared", "split"])
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_exact_unbiasedness_small_d(self, tie_breaking, d):
+        """E[t*] = t under each variant's matching constant B."""
+        epsilon = 1.0
+        mech = DuchiMultidimMechanism(epsilon, d, tie_breaking=tie_breaking)
+        t = tuple(np.linspace(-0.8, 0.6, d))
+        pmf = self._exact_pmf(t, epsilon, d, tie_breaking)
+        expectation = np.zeros(d)
+        for s, prob in pmf.items():
+            expectation += mech.b * np.array(s) * prob
+        assert np.allclose(expectation, t, atol=1e-12)
+
+    def test_split_variant_unbiased_empirically(self, rng):
+        mech = DuchiMultidimMechanism(2.0, 4, tie_breaking="split")
+        t = np.tile([0.5, -0.5, 0.0, 0.9], (60_000, 1))
+        out = mech.privatize(t, rng)
+        sem = mech.b / math.sqrt(60_000)
+        assert np.all(np.abs(out.mean(axis=0) - t[0]) < 6.0 * sem)
+
+    def test_variants_coincide_for_odd_d(self):
+        shared = DuchiMultidimMechanism(1.0, 5, tie_breaking="shared")
+        split = DuchiMultidimMechanism(1.0, 5, tie_breaking="split")
+        assert shared.b == split.b
+
+    def test_invalid_tie_breaking_rejected(self):
+        with pytest.raises(ValueError):
+            DuchiMultidimMechanism(1.0, 2, tie_breaking="bogus")
+
+    def test_estimate_means(self, rng):
+        mech = DuchiMultidimMechanism(2.0, 3)
+        t = rng.uniform(-1, 1, (30_000, 3))
+        est = mech.estimate_means(mech.privatize(t, rng))
+        assert np.all(np.abs(est - t.mean(axis=0)) < 0.15)
+
+    def test_estimate_means_validates_input(self):
+        mech = DuchiMultidimMechanism(1.0, 3)
+        with pytest.raises(ValueError):
+            mech.estimate_means(np.empty((0, 3)))
+
+    def test_wrong_width_rejected(self, rng):
+        mech = DuchiMultidimMechanism(1.0, 3)
+        with pytest.raises(ValueError):
+            mech.privatize(np.zeros((5, 4)), rng)

@@ -1,0 +1,115 @@
+"""Tests for the Hybrid Mechanism (PM/Duchi mixture)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DuchiMechanism, HybridMechanism, PiecewiseMechanism
+from repro.theory.constants import EPSILON_STAR, hybrid_alpha
+
+
+class TestAlpha:
+    def test_alpha_formula_above_threshold(self):
+        assert hybrid_alpha(2.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_alpha_zero_at_or_below_threshold(self):
+        assert hybrid_alpha(EPSILON_STAR) == 0.0
+        assert hybrid_alpha(0.3) == 0.0
+
+    def test_alpha_continuous_at_threshold(self):
+        """Just above eps*, alpha jumps to 1 - e^{-eps*/2} ~= 0.26 — the
+        paper's optimum is genuinely discontinuous there; both branches
+        give the same worst-case variance at eps* (Corollary 1)."""
+        above = HybridMechanism(EPSILON_STAR + 1e-9)
+        below = HybridMechanism(EPSILON_STAR)
+        assert above.worst_case_variance() == pytest.approx(
+            below.worst_case_variance(), rel=1e-6
+        )
+
+    def test_alpha_override_accepted(self):
+        assert HybridMechanism(1.0, alpha=0.5).alpha == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_alpha_override_validated(self, bad):
+        with pytest.raises(ValueError):
+            HybridMechanism(1.0, alpha=bad)
+
+
+class TestVariance:
+    def test_mixture_formula(self, epsilon):
+        hm = HybridMechanism(epsilon)
+        pm = PiecewiseMechanism(epsilon)
+        du = DuchiMechanism(epsilon)
+        grid = np.linspace(-1, 1, 21)
+        want = hm.alpha * pm.variance(grid) + (1 - hm.alpha) * du.variance(
+            grid
+        )
+        assert np.allclose(hm.variance(grid), want)
+
+    def test_variance_constant_in_t_above_threshold(self):
+        """With the optimal alpha the t^2 terms cancel exactly."""
+        hm = HybridMechanism(2.0)
+        grid = np.linspace(-1, 1, 51)
+        variances = hm.variance(grid)
+        assert variances.max() - variances.min() < 1e-12
+
+    def test_worst_case_matches_eq8(self, epsilon):
+        hm = HybridMechanism(epsilon)
+        grid = np.linspace(-1, 1, 201)
+        assert hm.worst_case_variance() == pytest.approx(
+            float(hm.variance(grid).max()), rel=1e-9
+        )
+
+    def test_corollary1_dominates_both_components(self, epsilon):
+        """HM's worst case <= min(PM, Duchi) worst cases (Corollary 1)."""
+        hm = HybridMechanism(epsilon).worst_case_variance()
+        pm = PiecewiseMechanism(epsilon).worst_case_variance()
+        du = DuchiMechanism(epsilon).worst_case_variance()
+        assert hm <= min(pm, du) + 1e-12
+
+    def test_strict_domination_above_threshold(self):
+        eps = 2.0
+        hm = HybridMechanism(eps).worst_case_variance()
+        pm = PiecewiseMechanism(eps).worst_case_variance()
+        du = DuchiMechanism(eps).worst_case_variance()
+        assert hm < min(pm, du)
+
+    def test_custom_alpha_worst_case_grid_fallback(self):
+        hm = HybridMechanism(2.0, alpha=0.3)
+        grid = np.linspace(-1, 1, 401)
+        assert hm.worst_case_variance() == pytest.approx(
+            float(hm.variance(grid).max()), rel=1e-6
+        )
+
+
+class TestSampling:
+    def test_degenerates_to_duchi_below_threshold(self, rng):
+        hm = HybridMechanism(0.4)
+        assert hm.alpha == 0.0
+        out = hm.privatize(rng.uniform(-1, 1, 5_000), rng)
+        magnitudes = np.unique(np.abs(out))
+        assert magnitudes.shape == (1,)
+        assert magnitudes[0] == pytest.approx(hm.duchi.bound)
+
+    def test_mixture_hits_both_components(self, rng):
+        hm = HybridMechanism(2.0)
+        out = hm.privatize(np.zeros(50_000), rng)
+        binary = np.isclose(np.abs(out), hm.duchi.bound)
+        frac_duchi = float(np.mean(binary))
+        # PM at t=0 essentially never lands exactly on +-bound.
+        assert frac_duchi == pytest.approx(1.0 - hm.alpha, abs=0.01)
+
+    def test_empirical_variance_matches(self, rng):
+        hm = HybridMechanism(1.5)
+        for t in (0.0, 0.6):
+            out = hm.privatize(np.full(150_000, t), rng)
+            assert np.var(out) == pytest.approx(
+                float(hm.variance(t)), rel=0.05
+            )
+
+    def test_output_within_union_range(self, rng):
+        hm = HybridMechanism(1.0)
+        lo, hi = hm.output_range()
+        out = hm.privatize(rng.uniform(-1, 1, 20_000), rng)
+        assert out.min() >= lo - 1e-9 and out.max() <= hi + 1e-9

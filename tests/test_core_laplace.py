@@ -1,0 +1,61 @@
+"""Tests specific to the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core import LaplaceMechanism
+
+
+class TestParameters:
+    def test_scale_is_two_over_eps(self):
+        assert LaplaceMechanism(2.0).scale == pytest.approx(1.0)
+
+    def test_worst_case_variance_formula(self, epsilon):
+        mech = LaplaceMechanism(epsilon)
+        assert mech.worst_case_variance() == pytest.approx(8.0 / epsilon**2)
+
+    def test_variance_is_input_independent(self):
+        mech = LaplaceMechanism(1.0)
+        grid = np.linspace(-1, 1, 11)
+        assert np.allclose(mech.variance(grid), 8.0)
+
+    def test_output_unbounded(self):
+        lo, hi = LaplaceMechanism(1.0).output_range()
+        assert lo == -np.inf and hi == np.inf
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self):
+        mech = LaplaceMechanism(1.0)
+        x = np.linspace(-60, 60, 400_001)
+        mass = np.trapezoid(mech.pdf(x, 0.3), x)
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_peaks_at_input(self):
+        mech = LaplaceMechanism(1.0)
+        x = np.linspace(-3, 3, 601)
+        density = mech.pdf(x, 0.5)
+        assert x[np.argmax(density)] == pytest.approx(0.5, abs=0.02)
+
+    def test_ldp_density_ratio_bounded(self, epsilon):
+        """For any t, t' in [-1,1] and any x: pdf(x|t)/pdf(x|t') <= e^eps."""
+        mech = LaplaceMechanism(epsilon)
+        x = np.linspace(-30, 30, 2001)
+        for t in (-1.0, 0.0, 1.0):
+            for t_prime in (-1.0, 0.3, 1.0):
+                ratio = mech.pdf(x, t) / mech.pdf(x, t_prime)
+                assert ratio.max() <= np.exp(epsilon) * (1 + 1e-9)
+
+
+class TestSampling:
+    def test_noise_is_symmetric(self, rng):
+        mech = LaplaceMechanism(1.0)
+        out = mech.privatize(np.zeros(200_000), rng)
+        # Skewness of Laplace is 0; sample skew should be near 0.
+        skew = np.mean(out**3) / np.mean(out**2) ** 1.5
+        assert abs(skew) < 0.1
+
+    def test_larger_epsilon_means_less_noise(self, rng):
+        loose = LaplaceMechanism(0.5).privatize(np.zeros(50_000), rng)
+        tight = LaplaceMechanism(4.0).privatize(np.zeros(50_000), rng)
+        assert np.var(tight) < np.var(loose)

@@ -1,0 +1,103 @@
+"""Tests for the mechanism base class and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import available_mechanisms, get_mechanism
+from repro.core.mechanism import NumericMechanism, register_mechanism
+
+ALL_MECHANISMS = ("duchi", "hm", "laplace", "pm", "scdf", "staircase")
+
+
+class TestRegistry:
+    def test_all_expected_registered(self):
+        assert available_mechanisms() == ALL_MECHANISMS
+
+    def test_get_mechanism_builds_instance(self):
+        mech = get_mechanism("pm", 1.0)
+        assert mech.epsilon == 1.0
+        assert type(mech).__name__ == "PiecewiseMechanism"
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_mechanism("nope", 1.0)
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(NumericMechanism):
+            name = "pm"  # clashes
+
+            def privatize(self, values, rng=None):
+                raise NotImplementedError
+
+            def variance(self, t):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_mechanism(Dup)
+
+    def test_unnamed_registration_rejected(self):
+        class NoName(NumericMechanism):
+            def privatize(self, values, rng=None):
+                raise NotImplementedError
+
+            def variance(self, t):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_mechanism(NoName)
+
+
+class TestBaseBehaviour:
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_invalid_epsilon_rejected(self, name):
+        with pytest.raises(ValueError):
+            get_mechanism(name, 0.0)
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_out_of_domain_input_rejected(self, name, rng):
+        mech = get_mechanism(name, 1.0)
+        with pytest.raises(ValueError):
+            mech.privatize([2.0], rng)
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_scalar_in_scalar_out(self, name, rng):
+        mech = get_mechanism(name, 1.0)
+        out = mech.privatize(0.5, rng)
+        assert np.ndim(out) == 0
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_shape_preserved(self, name, rng):
+        mech = get_mechanism(name, 1.0)
+        values = rng.uniform(-1, 1, size=(4, 5))
+        assert mech.privatize(values, rng).shape == (4, 5)
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_deterministic_under_fixed_seed(self, name):
+        mech = get_mechanism(name, 1.0)
+        values = np.linspace(-1, 1, 20)
+        a = mech.privatize(values, 123)
+        b = mech.privatize(values, 123)
+        assert np.array_equal(a, b)
+
+    def test_estimate_mean_is_average(self):
+        mech = get_mechanism("laplace", 1.0)
+        assert mech.estimate_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_estimate_mean_empty_raises(self):
+        mech = get_mechanism("laplace", 1.0)
+        with pytest.raises(ValueError):
+            mech.estimate_mean([])
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_output_within_declared_range(self, name, rng):
+        mech = get_mechanism(name, 1.0)
+        lo, hi = mech.output_range()
+        out = mech.privatize(rng.uniform(-1, 1, 5_000), rng)
+        assert out.min() >= lo - 1e-9
+        assert out.max() <= hi + 1e-9
+
+    @pytest.mark.parametrize("name", ALL_MECHANISMS)
+    def test_worst_case_variance_dominates_pointwise(self, name):
+        mech = get_mechanism(name, 1.3)
+        grid = np.linspace(-1, 1, 201)
+        assert mech.worst_case_variance() >= mech.variance(grid).max() - 1e-12

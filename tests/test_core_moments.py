@@ -1,0 +1,86 @@
+"""Tests for LDP mean + variance (second moment) estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.moments import MomentEstimate, MomentsEstimator
+
+
+class TestMomentEstimate:
+    def test_variance_formula(self):
+        est = MomentEstimate(mean=0.5, second_moment=0.35)
+        assert est.variance == pytest.approx(0.1)
+        assert est.std == pytest.approx(np.sqrt(0.1))
+
+    def test_variance_clipped_at_zero(self):
+        est = MomentEstimate(mean=0.9, second_moment=0.5)
+        assert est.variance == 0.0
+
+
+class TestMomentsEstimator:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            MomentsEstimator(1.0, strategy="thirds")
+
+    def test_budget_assignment(self):
+        assert MomentsEstimator(2.0, strategy="sample").mechanism.epsilon == 2.0
+        assert MomentsEstimator(2.0, strategy="split").mechanism.epsilon == 1.0
+
+    def test_square_transform_domain(self):
+        t = np.linspace(-1, 1, 101)
+        s = MomentsEstimator._square_transform(t)
+        assert s.min() >= -1.0 and s.max() <= 1.0
+        assert s[0] == 1.0 and s[50] == -1.0  # t=+-1 -> 1, t=0 -> -1
+
+    @pytest.mark.parametrize("strategy", ["sample", "split"])
+    def test_report_partitioning(self, strategy, rng):
+        estimator = MomentsEstimator(2.0, strategy=strategy)
+        mean_reports, square_reports = estimator.privatize(
+            rng.uniform(-1, 1, 10_000), rng
+        )
+        if strategy == "split":
+            assert len(mean_reports) == len(square_reports) == 10_000
+        else:
+            assert len(mean_reports) + len(square_reports) == 10_000
+            assert abs(len(mean_reports) - 5_000) < 500
+
+    @pytest.mark.parametrize("strategy", ["sample", "split"])
+    @pytest.mark.parametrize("mechanism", ["pm", "hm", "duchi"])
+    def test_recovers_moments(self, strategy, mechanism, rng):
+        values = np.clip(rng.normal(0.2, 0.35, 200_000), -1, 1)
+        estimator = MomentsEstimator(4.0, mechanism, strategy)
+        estimate = estimator.collect(values, rng)
+        assert estimate.mean == pytest.approx(values.mean(), abs=0.03)
+        assert estimate.variance == pytest.approx(values.var(), abs=0.03)
+
+    def test_uniform_variance(self, rng):
+        values = rng.uniform(-1, 1, 300_000)
+        estimate = MomentsEstimator(4.0).collect(values, rng)
+        assert estimate.variance == pytest.approx(1.0 / 3.0, abs=0.03)
+
+    def test_constant_data_zero_variance(self, rng):
+        values = np.full(100_000, 0.5)
+        estimate = MomentsEstimator(4.0).collect(values, rng)
+        assert estimate.variance < 0.03
+
+    def test_accuracy_improves_with_epsilon(self, rng):
+        values = np.clip(rng.normal(0.0, 0.3, 60_000), -1, 1)
+
+        def error(eps, seed):
+            est = MomentsEstimator(eps).collect(
+                values, np.random.default_rng(seed)
+            )
+            return abs(est.variance - values.var())
+
+        loose = np.mean([error(0.5, s) for s in range(5)])
+        tight = np.mean([error(8.0, s) for s in range(5)])
+        assert tight < loose
+
+    def test_empty_stream_rejected(self, rng):
+        estimator = MomentsEstimator(1.0)
+        with pytest.raises(ValueError):
+            estimator.estimate(np.array([]), np.array([1.0]))
+
+    def test_out_of_domain_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MomentsEstimator(1.0).privatize([1.5], rng)

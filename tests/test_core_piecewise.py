@@ -1,0 +1,144 @@
+"""Tests for the Piecewise Mechanism (the paper's Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import PiecewiseMechanism
+from repro.theory.constants import pm_c, pm_p
+
+
+class TestParameters:
+    def test_c_formula(self, epsilon):
+        e_half = math.exp(epsilon / 2.0)
+        assert PiecewiseMechanism(epsilon).c == pytest.approx(
+            (e_half + 1.0) / (e_half - 1.0)
+        )
+
+    def test_c_shrinks_with_epsilon(self):
+        cs = [pm_c(e) for e in (0.5, 1.0, 2.0, 4.0)]
+        assert cs == sorted(cs, reverse=True)
+
+    def test_c_always_exceeds_one(self, epsilon):
+        assert pm_c(epsilon) > 1.0
+
+    def test_plateau_width_is_c_minus_1(self, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        for t in (-1.0, 0.0, 0.4, 1.0):
+            assert float(pm.right(t) - pm.left(t)) == pytest.approx(
+                pm.c - 1.0
+            )
+
+    def test_plateau_endpoints_at_extremes(self, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        # t = 1: the plateau's right edge is exactly C (no right wing).
+        assert float(pm.right(1.0)) == pytest.approx(pm.c)
+        # t = -1: the plateau's left edge is exactly -C (no left wing).
+        assert float(pm.left(-1.0)) == pytest.approx(-pm.c)
+
+    def test_plateau_centered_for_zero_input(self, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        assert float(pm.left(0.0)) == pytest.approx(-float(pm.right(0.0)))
+
+
+class TestPdf:
+    def test_integrates_to_one(self, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        x = np.linspace(-pm.c, pm.c, 2_000_001)
+        for t in (-1.0, 0.0, 0.5, 1.0):
+            assert np.trapezoid(pm.pdf(x, t), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_two_level_structure(self):
+        pm = PiecewiseMechanism(1.0)
+        x = np.linspace(-pm.c + 1e-6, pm.c - 1e-6, 10_001)
+        levels = np.unique(np.round(pm.pdf(x, 0.5), 12))
+        assert len(levels) == 2
+        assert levels.max() == pytest.approx(pm.p)
+        assert levels.min() == pytest.approx(pm.p / math.exp(1.0))
+
+    def test_zero_outside_support(self):
+        pm = PiecewiseMechanism(1.0)
+        assert float(pm.pdf(pm.c + 0.5, 0.0)) == 0.0
+        assert float(pm.pdf(-pm.c - 0.5, 0.0)) == 0.0
+
+    def test_ldp_ratio_exactly_e_eps(self, epsilon):
+        """The plateau/wing ratio is e^eps, so for any x and any pair of
+        inputs the density ratio is within [e^-eps, e^eps] — tight."""
+        pm = PiecewiseMechanism(epsilon)
+        x = np.linspace(-pm.c + 1e-9, pm.c - 1e-9, 4001)
+        worst = 0.0
+        for t in (-1.0, -0.3, 0.0, 0.6, 1.0):
+            for t_prime in (-1.0, 0.0, 1.0):
+                ratio = pm.pdf(x, t) / pm.pdf(x, t_prime)
+                worst = max(worst, float(ratio.max()))
+        assert worst <= math.exp(epsilon) * (1 + 1e-9)
+        assert worst == pytest.approx(math.exp(epsilon), rel=1e-6)
+
+    def test_center_mass(self, epsilon):
+        """P[output on plateau] = e^{eps/2}/(e^{eps/2}+1) analytically."""
+        pm = PiecewiseMechanism(epsilon)
+        e_half = math.exp(epsilon / 2.0)
+        assert pm.p * (pm.c - 1.0) == pytest.approx(e_half / (e_half + 1.0))
+
+
+class TestSampling:
+    def test_output_in_range(self, rng, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        out = pm.privatize(rng.uniform(-1, 1, 20_000), rng)
+        assert out.min() >= -pm.c and out.max() <= pm.c
+
+    def test_empirical_histogram_matches_pdf(self, rng):
+        """Histogram of samples vs analytic pdf for t = 0.5 (Fig. 2b)."""
+        pm = PiecewiseMechanism(1.0)
+        t = 0.5
+        out = pm.privatize(np.full(400_000, t), rng)
+        bins = np.linspace(-pm.c, pm.c, 81)
+        hist, edges = np.histogram(out, bins=bins, density=True)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        want = pm.pdf(centers, t)
+        # Exclude the two bins straddling the plateau discontinuities.
+        lo, hi = float(pm.left(t)), float(pm.right(t))
+        keep = (np.abs(centers - lo) > 0.15) & (np.abs(centers - hi) > 0.15)
+        assert np.allclose(hist[keep], want[keep], atol=0.02)
+
+    def test_plateau_hit_rate(self, rng, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+        t = 0.3
+        out = pm.privatize(np.full(200_000, t), rng)
+        on_plateau = np.mean(
+            (out >= float(pm.left(t))) & (out <= float(pm.right(t)))
+        )
+        e_half = math.exp(epsilon / 2.0)
+        assert on_plateau == pytest.approx(e_half / (e_half + 1.0), abs=0.01)
+
+    def test_no_wing_samples_at_t_one(self, rng):
+        """At t = 1 the right wing has length 0; all mass is left of r."""
+        pm = PiecewiseMechanism(1.0)
+        out = pm.privatize(np.ones(100_000), rng)
+        assert out.max() <= pm.c + 1e-12
+
+
+class TestVariance:
+    def test_worst_case_at_endpoints(self):
+        pm = PiecewiseMechanism(1.0)
+        grid = np.linspace(-1, 1, 101)
+        assert pm.worst_case_variance() == pytest.approx(
+            float(pm.variance(grid).max())
+        )
+
+    def test_variance_decreases_with_magnitude(self):
+        pm = PiecewiseMechanism(1.0)
+        assert float(pm.variance(0.0)) < float(pm.variance(0.5)) < float(
+            pm.variance(1.0)
+        )
+
+    def test_beats_laplace_everywhere(self, epsilon):
+        """PM's worst-case variance is strictly below Laplace's 8/eps^2."""
+        assert (
+            PiecewiseMechanism(epsilon).worst_case_variance()
+            < 8.0 / epsilon**2
+        )
+
+    def test_plateau_density_positive(self, epsilon):
+        assert pm_p(epsilon) > 0.0

@@ -1,0 +1,50 @@
+"""Statistical tests: every mechanism is an unbiased estimator with the
+advertised variance.
+
+Each check runs the mechanism on many copies of a fixed input and
+compares the sample mean / variance against the closed form within a
+z-score-style tolerance (generous enough to make flakes essentially
+impossible at the fixed seed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_mechanism
+
+N = 120_000
+INPUTS = (-1.0, -0.4, 0.0, 0.7, 1.0)
+ALL_MECHANISMS = ("laplace", "scdf", "staircase", "duchi", "pm", "hm")
+
+
+@pytest.mark.parametrize("name", ALL_MECHANISMS)
+@pytest.mark.parametrize("t", INPUTS)
+def test_unbiased(name, t, epsilon, rng):
+    mech = get_mechanism(name, epsilon)
+    out = mech.privatize(np.full(N, t), rng)
+    # Allow 5 standard errors of slack.
+    sem = np.sqrt(float(mech.variance(t)) / N)
+    assert abs(out.mean() - t) < 5.0 * sem + 1e-12
+
+
+@pytest.mark.parametrize("name", ALL_MECHANISMS)
+@pytest.mark.parametrize("t", (0.0, 0.7, 1.0))
+def test_variance_matches_closed_form(name, t, rng):
+    epsilon = 1.0
+    mech = get_mechanism(name, epsilon)
+    out = mech.privatize(np.full(N, t), rng)
+    want = float(mech.variance(t))
+    got = float(np.var(out))
+    assert got == pytest.approx(want, rel=0.05)
+
+
+@pytest.mark.parametrize("name", ALL_MECHANISMS)
+def test_mean_estimation_error_shrinks_with_n(name, rng):
+    mech = get_mechanism(name, 1.0)
+    values = rng.uniform(-1, 1, 50_000)
+    small = mech.estimate_mean(mech.privatize(values[:500], rng))
+    errors_small = abs(small - values[:500].mean())
+    big = mech.estimate_mean(mech.privatize(values, rng))
+    errors_big = abs(big - values.mean())
+    # With 100x the users the error should drop clearly (10x in RMS).
+    assert errors_big < errors_small + 0.2

@@ -1,0 +1,98 @@
+"""Tests for repro.core.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    check_dimension,
+    check_epsilon,
+    check_matrix,
+    check_probability,
+    check_unit_interval,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(1.5) == 1.5
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_epsilon(2), float)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_epsilon(bad)
+
+
+class TestCheckUnitInterval:
+    def test_accepts_interior(self):
+        arr = check_unit_interval([0.0, -0.5, 0.99])
+        assert np.allclose(arr, [0.0, -0.5, 0.99])
+
+    def test_accepts_endpoints(self):
+        arr = check_unit_interval([-1.0, 1.0])
+        assert np.allclose(arr, [-1.0, 1.0])
+
+    def test_clips_float_rounding(self):
+        arr = check_unit_interval([1.0 + 1e-12])
+        assert arr.max() <= 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_unit_interval([1.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_unit_interval([math.nan])
+
+    def test_empty_ok(self):
+        assert check_unit_interval([]).size == 0
+
+    def test_scalar_ok(self):
+        assert float(check_unit_interval(0.5)) == 0.5
+
+
+class TestCheckDimension:
+    def test_accepts(self):
+        assert check_dimension(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_dimension(bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad)
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        out = check_matrix(np.zeros((4, 3)), 3)
+        assert out.shape == (4, 3)
+
+    def test_promotes_1d_row(self):
+        out = check_matrix(np.zeros(3), 3)
+        assert out.shape == (1, 3)
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            check_matrix(np.zeros((4, 2)), 3)
+
+    def test_3d_raises(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((2, 2, 2)), 2)
+
+    def test_out_of_domain_raises(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.full((2, 2), 3.0), 2)

@@ -1,0 +1,141 @@
+"""Tests for the BR/MX-like census dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import (
+    BR_CATEGORICAL,
+    INCOME,
+    INCOME_RANGE,
+    MX_CATEGORICAL,
+    _marginal,
+    make_br_like,
+    make_mx_like,
+)
+
+
+class TestShapes:
+    def test_br_schema_matches_paper(self, rng):
+        """BR: 16 attributes — 6 numeric, 10 categorical."""
+        ds = make_br_like(1_000, rng=rng)
+        assert ds.schema.d == 16
+        assert len(ds.schema.numeric) == 6
+        assert len(ds.schema.categorical) == 10
+
+    def test_mx_schema_matches_paper(self, rng):
+        """MX: 19 attributes — 5 numeric, 14 categorical."""
+        ds = make_mx_like(1_000, rng=rng)
+        assert ds.schema.d == 19
+        assert len(ds.schema.numeric) == 5
+        assert len(ds.schema.categorical) == 14
+
+    def test_row_count(self, rng):
+        assert make_br_like(12_345, rng=rng).n == 12_345
+
+    def test_bad_n(self, rng):
+        with pytest.raises(ValueError):
+            make_br_like(0, rng=rng)
+
+    def test_income_present_and_bounded(self, rng):
+        for ds in (make_br_like(5_000, rng=rng), make_mx_like(5_000, rng=rng)):
+            income = ds.columns[INCOME]
+            assert income.min() >= INCOME_RANGE[0]
+            assert income.max() <= INCOME_RANGE[1]
+
+    def test_categorical_cardinalities(self, rng):
+        ds = make_mx_like(5_000, rng=rng)
+        for name, k in MX_CATEGORICAL:
+            attr = ds.schema[name]
+            assert attr.cardinality == k
+            assert ds.columns[name].max() < k
+
+
+class TestStatisticalProperties:
+    def test_income_is_skewed(self, rng):
+        """Normalized income concentrates near the lower end — the shape
+        that makes PM/HM shine in Fig. 4 (small |t| inputs)."""
+        ds = make_br_like(50_000, rng=rng)
+        income_col = [a.name for a in ds.schema.numeric].index(INCOME)
+        normalized = ds.numeric_matrix()[:, income_col]
+        assert np.median(normalized) < -0.5
+
+    def test_income_correlates_with_education(self, rng):
+        ds = make_br_like(50_000, rng=rng)
+        corr = np.corrcoef(
+            ds.columns[INCOME], ds.columns["education_years"]
+        )[0, 1]
+        assert corr > 0.3
+
+    def test_income_correlates_with_hours(self, rng):
+        ds = make_mx_like(50_000, rng=rng)
+        corr = np.corrcoef(ds.columns[INCOME], ds.columns["hours_worked"])[0, 1]
+        assert corr > 0.05
+
+    def test_erm_signal_exists(self, rng):
+        """An OLS fit on the ERM features must clearly beat predicting
+        the mean — the datasets carry learnable signal."""
+        ds = make_br_like(20_000, rng=rng)
+        x, y = ds.to_erm_features(INCOME)
+        x1 = np.column_stack([x, np.ones(len(y))])
+        beta, *_ = np.linalg.lstsq(x1, y, rcond=None)
+        residual = y - x1 @ beta
+        assert np.var(residual) < 0.6 * np.var(y)
+
+    def test_marginals_stable_across_seeds(self):
+        a = make_br_like(30_000, rng=1)
+        b = make_br_like(30_000, rng=2)
+        fa = a.true_categorical_frequencies()["occupation"]
+        fb = b.true_categorical_frequencies()["occupation"]
+        assert np.all(np.abs(fa - fb) < 0.02)
+
+    def test_marginal_helper_deterministic(self):
+        assert np.allclose(_marginal("gender", 2), _marginal("gender", 2))
+
+    def test_marginal_is_sorted_distribution(self):
+        probs = _marginal("occupation", 10)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_reproducible_given_seed(self):
+        a = make_mx_like(1_000, rng=42)
+        b = make_mx_like(1_000, rng=42)
+        for name in a.schema.names:
+            assert np.array_equal(a.columns[name], b.columns[name])
+
+    def test_br_mx_share_generator_core(self, rng):
+        """Both datasets expose age/income/hours/education."""
+        for ds in (make_br_like(100, rng=rng), make_mx_like(100, rng=rng)):
+            for name in ("age", INCOME, "hours_worked", "education_years"):
+                assert name in ds.columns
+
+    def test_br_categorical_spec_constant(self):
+        assert len(BR_CATEGORICAL) == 10
+        assert len(MX_CATEGORICAL) == 14
+
+
+class TestAttributeDependencies:
+    def test_dependent_pairs_have_positive_mi(self, rng):
+        """The generator injects real dependence for the declared
+        parent/child pairs (exercised by the marginal collector)."""
+        from repro.multidim import true_marginal_table
+
+        ds = make_br_like(60_000, rng=rng)
+        dependent = true_marginal_table(
+            ds, "occupation", "employment_status"
+        ).mutual_information()
+        independent = true_marginal_table(
+            ds, "occupation", "gender"
+        ).mutual_information()
+        assert dependent > 0.1
+        assert independent < 0.01
+
+    def test_dependence_stable_across_seeds(self):
+        from repro.multidim import true_marginal_table
+
+        a = true_marginal_table(
+            make_br_like(60_000, rng=1), "marital_status", "home_ownership"
+        )
+        b = true_marginal_table(
+            make_br_like(60_000, rng=2), "marital_status", "home_ownership"
+        )
+        assert abs(a.mutual_information() - b.mutual_information()) < 0.02

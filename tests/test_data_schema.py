@@ -1,0 +1,173 @@
+"""Tests for schemas, Dataset and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import denormalize_from_unit, normalize_to_unit
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+
+
+class TestNormalize:
+    def test_maps_bounds_to_unit(self):
+        out = normalize_to_unit([0.0, 5.0, 10.0], 0.0, 10.0)
+        assert np.allclose(out, [-1.0, 0.0, 1.0])
+
+    def test_roundtrip(self, rng):
+        values = rng.uniform(3.0, 8.0, 100)
+        back = denormalize_from_unit(
+            normalize_to_unit(values, 3.0, 8.0), 3.0, 8.0
+        )
+        assert np.allclose(back, values)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_to_unit([11.0], 0.0, 10.0)
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_to_unit([0.0], 5.0, 5.0)
+
+    def test_denormalize_allows_outside_unit(self):
+        # Mean estimates can land slightly outside [-1, 1]; denormalize
+        # must not clip them.
+        out = denormalize_from_unit([1.2], 0.0, 10.0)
+        assert out[0] == pytest.approx(11.0)
+
+
+class TestAttributes:
+    def test_numeric_flags(self):
+        assert NumericAttribute("x").is_numeric
+        assert not CategoricalAttribute("c", 3).is_numeric
+
+    def test_numeric_bad_bounds(self):
+        with pytest.raises(ValueError):
+            NumericAttribute("x", 1.0, -1.0)
+
+    def test_categorical_bad_cardinality(self):
+        with pytest.raises(ValueError):
+            CategoricalAttribute("c", 1)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [
+                NumericAttribute("x"),
+                CategoricalAttribute("c", 3),
+                NumericAttribute("y", 0.0, 5.0),
+            ]
+        )
+
+    def test_d(self):
+        assert self._schema().d == 3
+
+    def test_partitions(self):
+        schema = self._schema()
+        assert [a.name for a in schema.numeric] == ["x", "y"]
+        assert [a.name for a in schema.categorical] == ["c"]
+
+    def test_lookup(self):
+        schema = self._schema()
+        assert schema["y"].high == 5.0
+        assert schema.index("c") == 1
+        with pytest.raises(KeyError):
+            schema["missing"]
+        with pytest.raises(KeyError):
+            schema.index("missing")
+
+    def test_select_preserves_order(self):
+        sub = self._schema().select(["y", "x"])
+        assert sub.names == ("y", "x")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([NumericAttribute("x"), NumericAttribute("x")])
+
+
+class TestDataset:
+    def _dataset(self, rng, n=100):
+        schema = Schema(
+            [
+                NumericAttribute("x", 0.0, 10.0),
+                CategoricalAttribute("c", 3),
+            ]
+        )
+        return Dataset(
+            schema=schema,
+            columns={
+                "x": rng.uniform(0, 10, n),
+                "c": rng.integers(0, 3, n),
+            },
+        )
+
+    def test_n(self, rng):
+        assert self._dataset(rng, 57).n == 57
+        assert len(self._dataset(rng, 57)) == 57
+
+    def test_missing_column_rejected(self):
+        schema = Schema([NumericAttribute("x")])
+        with pytest.raises(ValueError):
+            Dataset(schema=schema, columns={})
+
+    def test_ragged_columns_rejected(self, rng):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        with pytest.raises(ValueError):
+            Dataset(
+                schema=schema,
+                columns={"x": np.zeros(3), "y": np.zeros(4)},
+            )
+
+    def test_categorical_range_validated(self):
+        schema = Schema([CategoricalAttribute("c", 2)])
+        with pytest.raises(ValueError):
+            Dataset(schema=schema, columns={"c": np.array([0, 2])})
+
+    def test_numeric_matrix_normalized(self, rng):
+        ds = self._dataset(rng)
+        matrix = ds.numeric_matrix()
+        assert matrix.shape == (100, 1)
+        assert matrix.min() >= -1.0 and matrix.max() <= 1.0
+
+    def test_categorical_matrix(self, rng):
+        ds = self._dataset(rng)
+        matrix = ds.categorical_matrix()
+        assert matrix.shape == (100, 1)
+        assert matrix.dtype == np.int64
+
+    def test_true_means_in_unit_domain(self, rng):
+        means = self._dataset(rng).true_numeric_means()
+        assert -1.0 <= means["x"] <= 1.0
+
+    def test_true_frequencies_sum_to_one(self, rng):
+        freqs = self._dataset(rng).true_categorical_frequencies()
+        assert freqs["c"].sum() == pytest.approx(1.0)
+
+    def test_subset(self, rng):
+        ds = self._dataset(rng)
+        sub = ds.subset(np.arange(10))
+        assert sub.n == 10
+        assert sub.schema is ds.schema
+
+    def test_select_attributes(self, rng):
+        ds = self._dataset(rng)
+        sub = ds.select_attributes(["c"])
+        assert sub.schema.names == ("c",)
+        assert sub.n == ds.n
+
+    def test_to_erm_features_shapes(self, rng):
+        ds = self._dataset(rng)
+        x, y = ds.to_erm_features("x")
+        # Features: only the categorical "c" -> k-1 = 2 columns.
+        assert x.shape == (100, 2)
+        assert y.shape == (100,)
+        assert y.min() >= -1.0 and y.max() <= 1.0
+
+    def test_to_erm_features_requires_numeric_dependent(self, rng):
+        ds = self._dataset(rng)
+        with pytest.raises(ValueError):
+            ds.to_erm_features("c")

@@ -1,0 +1,104 @@
+"""Tests for the synthetic workload generators (Figs. 5-6 data)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    power_law_dataset,
+    power_law_matrix,
+    truncated_gaussian_dataset,
+    truncated_gaussian_matrix,
+    uniform_dataset,
+    uniform_matrix,
+)
+
+
+class TestTruncatedGaussian:
+    def test_shape(self, rng):
+        assert truncated_gaussian_matrix(100, 16, 0.0, rng=rng).shape == (100, 16)
+
+    def test_range(self, rng):
+        out = truncated_gaussian_matrix(50_000, 4, 1.0, rng=rng)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_mean_near_mu_when_interior(self, rng):
+        out = truncated_gaussian_matrix(100_000, 2, 0.3, 0.25, rng=rng)
+        assert out.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_mu_one_truncation_pulls_mean_down(self, rng):
+        """With mu = 1 half the mass is rejected from above; mean < 1."""
+        out = truncated_gaussian_matrix(50_000, 2, 1.0, 0.25, rng=rng)
+        assert 0.7 < out.mean() < 1.0
+
+    def test_sigma_controls_spread(self, rng):
+        tight = truncated_gaussian_matrix(50_000, 1, 0.0, 0.1, rng=rng)
+        wide = truncated_gaussian_matrix(50_000, 1, 0.0, 0.4, rng=rng)
+        assert tight.std() < wide.std()
+
+    @pytest.mark.parametrize("bad", [(0, 4), (4, 0)])
+    def test_bad_shape_rejected(self, bad, rng):
+        with pytest.raises(ValueError):
+            truncated_gaussian_matrix(bad[0], bad[1], 0.0, rng=rng)
+
+    def test_bad_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            truncated_gaussian_matrix(10, 2, 0.0, sigma=0.0, rng=rng)
+
+
+class TestUniform:
+    def test_moments(self, rng):
+        out = uniform_matrix(200_000, 1, rng=rng)
+        assert out.mean() == pytest.approx(0.0, abs=0.01)
+        assert np.var(out) == pytest.approx(1.0 / 3.0, abs=0.01)
+
+    def test_range(self, rng):
+        out = uniform_matrix(10_000, 3, rng=rng)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+class TestPowerLaw:
+    def test_range(self, rng):
+        out = power_law_matrix(50_000, 2, rng=rng)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_heavily_skewed_to_lower_end(self, rng):
+        out = power_law_matrix(100_000, 1, rng=rng)
+        assert np.mean(out < -0.5) > 0.9
+
+    def test_matches_analytic_cdf(self, rng):
+        """Empirical CDF vs the closed form at several quantile points."""
+        a = 10.0
+        out = power_law_matrix(200_000, 1, exponent=a, rng=rng).ravel()
+        one_minus_a = 1.0 - a
+        tail = 1.0 - 3.0**one_minus_a
+        for x in (-0.9, -0.7, -0.4, 0.0, 0.5):
+            want = (1.0 - (x + 2.0) ** one_minus_a) / tail
+            got = float(np.mean(out <= x))
+            assert got == pytest.approx(want, abs=0.01)
+
+    def test_exponent_must_exceed_one(self, rng):
+        with pytest.raises(ValueError):
+            power_law_matrix(10, 1, exponent=1.0, rng=rng)
+
+    def test_gentler_exponent_less_skew(self, rng):
+        steep = power_law_matrix(50_000, 1, exponent=10.0, rng=rng)
+        gentle = power_law_matrix(50_000, 1, exponent=2.0, rng=rng)
+        assert steep.mean() < gentle.mean()
+
+
+class TestDatasetWrappers:
+    def test_gaussian_dataset(self, rng):
+        ds = truncated_gaussian_dataset(100, 16, 0.0, rng=rng)
+        assert ds.schema.d == 16
+        assert len(ds.schema.numeric) == 16
+        assert ds.n == 100
+
+    def test_uniform_dataset(self, rng):
+        ds = uniform_dataset(50, 4, rng=rng)
+        assert ds.schema.names == ("u0", "u1", "u2", "u3")
+
+    def test_power_law_dataset(self, rng):
+        ds = power_law_dataset(50, 3, rng=rng)
+        matrix = ds.numeric_matrix()
+        assert matrix.shape == (50, 3)
+        assert matrix.min() >= -1.0

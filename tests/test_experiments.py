@@ -1,0 +1,157 @@
+"""Smoke + shape tests for every experiment harness (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ERMConfig, EstimationConfig
+from repro.experiments import fig01, fig02, fig03, fig04, fig05, fig06
+from repro.experiments import fig07, fig08, fig09, table1
+from repro.experiments.results import Row, format_table, rows_to_series
+
+TINY = EstimationConfig(n=4_000, repeats=2, epsilons=(1.0, 4.0), seed=7)
+TINY_ERM = ERMConfig(n=3_000, folds=2, repeats=1, epsilons=(4.0,), seed=7)
+
+
+class TestResults:
+    def test_rows_to_series(self):
+        rows = [
+            Row("e", "a", 1.0, 0.5),
+            Row("e", "a", 2.0, 0.25),
+            Row("e", "b", 1.0, 0.9),
+        ]
+        series = rows_to_series(rows)
+        assert series == {"a": {1.0: 0.5, 2.0: 0.25}, "b": {1.0: 0.9}}
+
+    def test_format_table_contains_everything(self):
+        rows = [Row("e", "method", 1.0, 0.5)]
+        text = format_table(rows, title="T", x_label="eps")
+        assert "T" in text and "method" in text and "5.000e-01" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_missing_cell_dash(self):
+        rows = [Row("e", "a", 1.0, 0.5), Row("e", "b", 2.0, 0.5)]
+        assert "-" in format_table(rows)
+
+
+class TestRegistry:
+    def test_all_twelve_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            *(f"fig{i:02d}" for i in range(1, 12)),
+        }
+
+    def test_every_module_has_run_and_main(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.main)
+
+
+class TestTable1:
+    def test_every_regime_holds(self):
+        checks = table1.run()
+        assert len(checks) >= 20
+        for check in checks:
+            assert check.holds, f"{check.regime} d={check.d} eps={check.epsilon}"
+
+
+class TestTheoryFigures:
+    def test_fig01_series(self):
+        rows = fig01.run(epsilons=(0.5, 2.0))
+        series = rows_to_series(rows)
+        assert set(series) == {
+            "Laplace", "SCDF", "Staircase", "Duchi", "PM", "HM",
+        }
+        # HM is the lower envelope at every eps.
+        for eps in (0.5, 2.0):
+            values = {name: series[name][eps] for name in series}
+            assert values["HM"] == min(values.values())
+
+    def test_fig02_pdf_levels(self):
+        rows = fig02.run(epsilon=1.0, grid_size=7)
+        series = rows_to_series(rows)
+        assert set(series) == {"t=0", "t=0.5", "t=1"}
+        values = [v for m in series.values() for v in m.values()]
+        assert all(v >= 0 for v in values)
+
+    def test_fig03_all_ratios_below_one(self):
+        rows = fig03.run(dimensions=(5, 10), epsilons=(1.0, 4.0))
+        assert all(r.value < 1.0 for r in rows)
+
+
+class TestEstimationFigures:
+    def test_fig04_proposed_beats_laplace(self):
+        rows = fig04.run(TINY)
+        series = rows_to_series(rows)
+        for ds in ("BR", "MX"):
+            for eps in TINY.epsilons:
+                assert (
+                    series[f"{ds}-numeric/hm"][eps]
+                    < series[f"{ds}-numeric/laplace"][eps]
+                )
+                assert (
+                    series[f"{ds}-categorical/hm"][eps]
+                    < series[f"{ds}-categorical/oue-split"][eps]
+                )
+
+    def test_fig05_rows(self):
+        rows = fig05.run(TINY, mus=(0.0,))
+        series = rows_to_series(rows)
+        assert "mu=0.00/hm" in series
+        for eps in TINY.epsilons:
+            assert series["mu=0.00/hm"][eps] < series["mu=0.00/laplace"][eps]
+
+    def test_fig06_rows(self):
+        rows = fig06.run(TINY)
+        series = rows_to_series(rows)
+        assert "uniform/pm" in series and "powerlaw/duchi" in series
+
+    def test_fig07_error_decays_with_n(self):
+        config = EstimationConfig(n=4_000, repeats=3, epsilons=(1.0,), seed=7)
+        rows = fig07.run(config, user_counts=(2_000, 32_000), epsilon=1.0)
+        series = rows_to_series(rows)
+        for name in ("numeric/hm", "categorical/hm"):
+            assert series[name][32_000.0] < series[name][2_000.0]
+
+    def test_fig08_rows_cover_dimensions(self):
+        rows = fig08.run(TINY, dimensions=(5, 10), epsilon=1.0)
+        series = rows_to_series(rows)
+        assert set(series["numeric/hm"]) == {5.0, 10.0}
+
+
+class TestERMFigures:
+    def test_fig09_shapes(self):
+        rows = fig09.run(TINY_ERM)
+        series = rows_to_series(rows)
+        for ds in ("BR", "MX"):
+            for method in ("non-private", "laplace", "duchi", "pm", "hm"):
+                assert f"{ds}/{method}" in series
+        # Misclassification rates are valid probabilities.
+        assert all(0.0 <= r.value <= 1.0 for r in rows)
+
+    def test_erm_unknown_task(self):
+        from repro.experiments.erm import run_task
+
+        with pytest.raises(ValueError):
+            run_task("kmeans")
+
+
+class TestCli:
+    def test_main_lists_experiments(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+
+    def test_main_unknown(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_main_runs_table1(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

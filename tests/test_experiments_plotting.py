@@ -1,0 +1,80 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_plot, sparkline
+from repro.experiments.results import Row
+
+
+def _rows():
+    return [
+        Row("e", "a", 1.0, 1e-2),
+        Row("e", "a", 2.0, 1e-3),
+        Row("e", "b", 1.0, 1e-1),
+        Row("e", "b", 2.0, 1e-2),
+    ]
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_plot(_rows(), title="T", x_label="eps")
+        assert "T" in chart
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_log_axis_labels(self):
+        chart = ascii_plot(_rows())
+        assert "1e-1.0" in chart  # max
+        assert "1e-3.0" in chart  # min
+
+    def test_linear_axis(self):
+        rows = [Row("e", "a", 1.0, 2.0), Row("e", "a", 2.0, 4.0)]
+        chart = ascii_plot(rows, log_y=False)
+        assert "4" in chart and "2" in chart
+
+    def test_log_rejects_nonpositive(self):
+        rows = [Row("e", "a", 1.0, 0.0)]
+        with pytest.raises(ValueError):
+            ascii_plot(rows, log_y=True)
+
+    def test_empty(self):
+        assert "(no data)" in ascii_plot([])
+
+    def test_constant_series_no_crash(self):
+        rows = [Row("e", "a", 1.0, 5.0), Row("e", "a", 2.0, 5.0)]
+        chart = ascii_plot(rows, log_y=False)
+        assert "o = a" in chart
+
+    def test_x_tick_labels_present(self):
+        chart = ascii_plot(_rows(), x_label="eps")
+        assert "eps" in chart
+        assert "1" in chart and "2" in chart
+
+    def test_marker_count_matches_points(self):
+        chart = ascii_plot(_rows())
+        plot_area = "\n".join(
+            line for line in chart.splitlines() if "│" in line
+        )
+        # Two series x two x-points; markers may overlap only if values
+        # coincide, which they don't here.
+        assert plot_area.count("o") == 2
+        assert plot_area.count("x") == 2
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_shape(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_log_mode(self):
+        line = sparkline([1e-4, 1e-3, 1e-2, 1e-1], log=True)
+        assert line == "▁▃▆█"

@@ -1,0 +1,71 @@
+"""Tests for the categorical encoders."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.encoders import dummy_encode, one_hot, true_frequencies
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        out = one_hot([0, 2, 1], 3)
+        assert out.shape == (3, 3)
+        assert np.array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rows_sum_to_one(self, rng):
+        values = rng.integers(0, 5, 100)
+        assert np.all(one_hot(values, 5).sum(axis=1) == 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot([3], 3)
+        with pytest.raises(ValueError):
+            one_hot([-1], 3)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot([0.5], 3)
+
+    def test_integer_valued_floats_accepted(self):
+        assert one_hot([1.0, 0.0], 2).shape == (2, 2)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot([0], 1)
+
+
+class TestDummyEncode:
+    def test_drops_last_column(self):
+        out = dummy_encode([0, 1, 2], 3)
+        assert out.shape == (3, 2)
+        assert np.array_equal(out, [[1, 0], [0, 1], [0, 0]])
+
+    def test_last_category_is_zero_row(self):
+        out = dummy_encode([2, 2], 3)
+        assert np.all(out == 0.0)
+
+    def test_binary_attribute_single_column(self):
+        out = dummy_encode([0, 1, 0], 2)
+        assert out.shape == (3, 1)
+        assert np.array_equal(out.ravel(), [1, 0, 1])
+
+
+class TestTrueFrequencies:
+    def test_values(self):
+        freqs = true_frequencies([0, 0, 1, 2], 3)
+        assert np.allclose(freqs, [0.5, 0.25, 0.25])
+
+    def test_sums_to_one(self, rng):
+        values = rng.integers(0, 7, 1000)
+        assert true_frequencies(values, 7).sum() == pytest.approx(1.0)
+
+    def test_covers_unseen_values(self):
+        freqs = true_frequencies([0, 0], 4)
+        assert freqs.shape == (4,)
+        assert np.allclose(freqs, [1.0, 0, 0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            true_frequencies([], 3)

@@ -1,0 +1,283 @@
+"""Tests shared across all frequency oracles + oracle-specific checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency import (
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    available_oracles,
+    get_oracle,
+)
+from repro.frequency.oracle import FrequencyOracle, register_oracle
+
+ALL_ORACLES = ("grr", "olh", "oue", "sue")
+N = 60_000
+K = 6
+
+
+def _skewed_values(rng, n=N, k=K):
+    probs = np.arange(k, 0, -1, dtype=float)
+    probs /= probs.sum()
+    return rng.choice(k, size=n, p=probs), probs
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert available_oracles() == ALL_ORACLES
+
+    def test_get_oracle(self):
+        oracle = get_oracle("oue", 1.0, 5)
+        assert oracle.k == 5 and oracle.epsilon == 1.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_oracle("nope", 1.0, 5)
+
+    def test_duplicate_name_rejected(self):
+        class Dup(FrequencyOracle):
+            name = "oue"
+
+            def privatize(self, values, rng=None):
+                raise NotImplementedError
+
+            def support_counts(self, reports):
+                raise NotImplementedError
+
+            @property
+            def support_probabilities(self):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_oracle(Dup)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_domain_too_small_rejected(self, name):
+        with pytest.raises(ValueError):
+            get_oracle(name, 1.0, 1)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_bad_epsilon_rejected(self, name):
+        with pytest.raises(ValueError):
+            get_oracle(name, 0.0, 4)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_out_of_domain_value_rejected(self, name, rng):
+        oracle = get_oracle(name, 1.0, 4)
+        with pytest.raises(ValueError):
+            oracle.privatize([4], rng)
+        with pytest.raises(ValueError):
+            oracle.privatize([-1], rng)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_non_integer_values_rejected(self, name, rng):
+        oracle = get_oracle(name, 1.0, 4)
+        with pytest.raises(ValueError):
+            oracle.privatize([0.5], rng)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_support_probabilities_ordered(self, name, epsilon):
+        oracle = get_oracle(name, epsilon, K)
+        p, q = oracle.support_probabilities
+        assert 0.0 < q < p <= 1.0
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_frequency_estimates_unbiased(self, name, rng, epsilon):
+        oracle = get_oracle(name, epsilon, K)
+        values, probs = _skewed_values(rng)
+        truth = np.bincount(values, minlength=K) / N
+        reports = oracle.privatize(values, rng)
+        estimates = oracle.estimate_frequencies(reports)
+        tolerance = 6.0 * math.sqrt(oracle.estimator_variance(N) + 1.0 / N)
+        assert np.all(np.abs(estimates - truth) < tolerance)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_estimates_sum_near_one(self, name, rng):
+        oracle = get_oracle(name, 2.0, K)
+        values, _ = _skewed_values(rng)
+        estimates = oracle.estimate_frequencies(oracle.privatize(values, rng))
+        assert estimates.sum() == pytest.approx(1.0, abs=0.1)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_estimator_variance_empirical(self, name, rng):
+        """Repeated estimation of a fixed value's frequency matches the
+        advertised estimator variance."""
+        oracle = get_oracle(name, 1.0, 4)
+        n, trials = 3_000, 60
+        values = np.zeros(n, dtype=np.int64)  # everyone holds value 0
+        estimates = [
+            oracle.estimate_frequencies(oracle.privatize(values, rng))[1]
+            for _ in range(trials)
+        ]
+        want = oracle.estimator_variance(n, f=0.0)
+        got = float(np.var(estimates))
+        assert got == pytest.approx(want, rel=0.6)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_estimator_variance_validates_n(self, name):
+        oracle = get_oracle(name, 1.0, 4)
+        with pytest.raises(ValueError):
+            oracle.estimator_variance(0)
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_zero_reports_rejected(self, name, rng):
+        oracle = get_oracle(name, 1.0, 4)
+        reports = oracle.privatize(np.array([0, 1], dtype=np.int64), rng)
+        empty = reports[:0] if not hasattr(reports, "seeds") else type(
+            reports
+        )(seeds=reports.seeds[:0], buckets=reports.buckets[:0])
+        with pytest.raises(ValueError):
+            oracle.estimate_frequencies(empty)
+
+
+class TestGRR:
+    def test_pmf_is_exact_ldp(self, epsilon):
+        oracle = GeneralizedRandomizedResponse(epsilon, K)
+        worst = 0.0
+        for v in range(K):
+            for v_prime in range(K):
+                p = oracle.output_probabilities(v)
+                q = oracle.output_probabilities(v_prime)
+                worst = max(worst, float(np.max(p / q)))
+        assert worst <= math.exp(epsilon) * (1 + 1e-12)
+        assert worst == pytest.approx(math.exp(epsilon), rel=1e-9)
+
+    def test_pmf_sums_to_one(self, epsilon):
+        oracle = GeneralizedRandomizedResponse(epsilon, K)
+        assert oracle.output_probabilities(2).sum() == pytest.approx(1.0)
+
+    def test_keep_probability(self, rng):
+        oracle = GeneralizedRandomizedResponse(2.0, 4)
+        values = np.full(100_000, 2, dtype=np.int64)
+        reports = oracle.privatize(values, rng)
+        p, _ = oracle.support_probabilities
+        assert np.mean(reports == 2) == pytest.approx(p, abs=0.01)
+
+    def test_other_values_uniform(self, rng):
+        oracle = GeneralizedRandomizedResponse(1.0, 4)
+        values = np.full(200_000, 0, dtype=np.int64)
+        reports = oracle.privatize(values, rng)
+        _, q = oracle.support_probabilities
+        for other in (1, 2, 3):
+            assert np.mean(reports == other) == pytest.approx(q, abs=0.01)
+
+
+class TestUnaryEncodings:
+    def test_oue_probabilities(self, epsilon):
+        oracle = OptimizedUnaryEncoding(epsilon, K)
+        p, q = oracle.support_probabilities
+        assert p == 0.5
+        assert q == pytest.approx(1.0 / (math.exp(epsilon) + 1.0))
+
+    def test_sue_probabilities(self, epsilon):
+        oracle = SymmetricUnaryEncoding(epsilon, K)
+        p, q = oracle.support_probabilities
+        e_half = math.exp(epsilon / 2.0)
+        assert p == pytest.approx(e_half / (e_half + 1.0))
+        assert p + q == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cls", [OptimizedUnaryEncoding, SymmetricUnaryEncoding])
+    def test_per_user_ldp_via_bit_flips(self, cls, epsilon):
+        """Two one-hot inputs differ in exactly two bits; the per-report
+        probability ratio is (p(1-q))/(q(1-p)) over those bits, which
+        must be <= e^eps."""
+        oracle = cls(epsilon, K)
+        p, q = oracle.support_probabilities
+        ratio = (p * (1.0 - q)) / (q * (1.0 - p))
+        assert ratio <= math.exp(epsilon) * (1 + 1e-9)
+
+    def test_oue_ldp_is_tight(self, epsilon):
+        oracle = OptimizedUnaryEncoding(epsilon, K)
+        p, q = oracle.support_probabilities
+        ratio = (p * (1.0 - q)) / (q * (1.0 - p))
+        assert ratio == pytest.approx(math.exp(epsilon), rel=1e-9)
+
+    def test_report_shape(self, rng):
+        oracle = OptimizedUnaryEncoding(1.0, K)
+        reports = oracle.privatize(np.array([0, 1, 2]), rng)
+        assert reports.shape == (3, K)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_true_bit_rate(self, rng):
+        oracle = OptimizedUnaryEncoding(1.0, 4)
+        reports = oracle.privatize(np.zeros(100_000, dtype=np.int64), rng)
+        p, q = oracle.support_probabilities
+        assert reports[:, 0].mean() == pytest.approx(p, abs=0.01)
+        assert reports[:, 1].mean() == pytest.approx(q, abs=0.01)
+
+    def test_oue_worst_case_variance_formula(self):
+        oracle = OptimizedUnaryEncoding(1.0, K)
+        e = math.exp(1.0)
+        assert oracle.worst_case_estimator_variance(1000) == pytest.approx(
+            4.0 * e / (1000 * (e - 1.0) ** 2)
+        )
+        assert oracle.worst_case_estimator_variance(1000) == pytest.approx(
+            oracle.estimator_variance(1000, f=0.0)
+        )
+
+    def test_oue_variance_beats_sue(self):
+        """OUE's defining property (Wang et al.): lower variance than SUE
+        at the same eps."""
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            oue = OptimizedUnaryEncoding(eps, K).estimator_variance(1000)
+            sue = SymmetricUnaryEncoding(eps, K).estimator_variance(1000)
+            assert oue < sue
+
+    def test_wrong_report_shape_rejected(self, rng):
+        oracle = OptimizedUnaryEncoding(1.0, K)
+        with pytest.raises(ValueError):
+            oracle.support_counts(np.zeros((5, K + 1)))
+
+
+class TestOLH:
+    def test_default_g(self):
+        oracle = OptimizedLocalHashing(1.0, K)
+        assert oracle.g == int(round(math.exp(1.0))) + 1
+
+    def test_g_override(self):
+        assert OptimizedLocalHashing(1.0, K, g=8).g == 8
+
+    def test_bad_g_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizedLocalHashing(1.0, K, g=1)
+
+    def test_reports_structure(self, rng):
+        oracle = OptimizedLocalHashing(1.0, K)
+        reports = oracle.privatize(np.array([0, 1, 2]), rng)
+        assert len(reports) == 3
+        assert np.all(reports.buckets >= 0)
+        assert np.all(reports.buckets < oracle.g)
+
+    def test_hash_deterministic_in_seed(self):
+        oracle = OptimizedLocalHashing(1.0, K)
+        seeds = np.array([123456789, 987654321], dtype=np.uint64)
+        values = np.array([3, 3], dtype=np.int64)
+        a = oracle._hash(seeds, values)
+        b = oracle._hash(seeds, values)
+        assert np.array_equal(a, b)
+
+    def test_hash_spreads_uniformly(self, rng):
+        oracle = OptimizedLocalHashing(1.0, K)
+        seeds = rng.integers(0, 2**63 - 1, size=50_000).astype(np.uint64)
+        values = np.zeros(50_000, dtype=np.int64)
+        buckets = oracle._hash(seeds, values)
+        counts = np.bincount(buckets, minlength=oracle.g) / 50_000
+        assert np.all(np.abs(counts - 1.0 / oracle.g) < 0.02)
+
+    def test_support_counts_requires_reports_type(self):
+        oracle = OptimizedLocalHashing(1.0, K)
+        with pytest.raises(TypeError):
+            oracle.support_counts(np.zeros((3, K)))
+
+    def test_mismatched_report_arrays_rejected(self):
+        from repro.frequency.olh import OLHReports
+
+        with pytest.raises(ValueError):
+            OLHReports(seeds=np.zeros(3, dtype=np.uint64),
+                       buckets=np.zeros(4, dtype=np.int64))

@@ -1,0 +1,124 @@
+"""Tests for frequency-estimate post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.postprocess import (
+    METHODS,
+    clip_and_normalize,
+    least_squares_simplex,
+    norm_sub,
+    postprocess,
+)
+
+RAW_CASES = [
+    np.array([0.5, -0.1, 0.4, 0.3]),
+    np.array([-0.2, -0.1, 1.4]),
+    np.array([0.25, 0.25, 0.25, 0.25]),
+    np.array([1.5, -0.5, 0.0]),
+    np.array([0.9]),
+]
+
+PROJECTIONS = [clip_and_normalize, norm_sub, least_squares_simplex]
+
+
+class TestSimplexInvariants:
+    @pytest.mark.parametrize("raw", RAW_CASES)
+    @pytest.mark.parametrize("project", PROJECTIONS)
+    def test_output_on_simplex(self, raw, project):
+        out = project(raw)
+        assert np.all(out >= 0.0)
+        assert out.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("project", PROJECTIONS)
+    def test_valid_distribution_unchanged(self, project):
+        valid = np.array([0.1, 0.2, 0.3, 0.4])
+        assert np.allclose(project(valid), valid)
+
+    @pytest.mark.parametrize("project", PROJECTIONS)
+    def test_all_negative_input(self, project):
+        out = project(np.array([-0.5, -0.1, -0.4]))
+        assert np.all(out >= 0.0)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_input_not_mutated(self):
+        raw = np.array([0.5, -0.1, 0.6])
+        copy = raw.copy()
+        norm_sub(raw)
+        assert np.array_equal(raw, copy)
+
+
+class TestLeastSquares:
+    def test_is_euclidean_projection(self):
+        """No simplex point on a dense grid is closer to the raw vector
+        than the computed projection (2-D check)."""
+        raw = np.array([0.9, 0.6])
+        projected = least_squares_simplex(raw)
+        best = np.inf
+        for p in np.linspace(0, 1, 201):
+            candidate = np.array([p, 1.0 - p])
+            best = min(best, float(np.sum((candidate - raw) ** 2)))
+        assert np.sum((projected - raw) ** 2) == pytest.approx(best, abs=1e-4)
+
+    def test_norm_sub_matches_least_squares_when_no_clipping_cascades(self):
+        raw = np.array([0.6, 0.5, 0.1])  # sums to 1.2, all stay positive
+        assert np.allclose(norm_sub(raw), least_squares_simplex(raw))
+
+
+class TestDispatch:
+    def test_registry_contains_all(self):
+        assert set(METHODS) == {"clip", "norm-sub", "least-squares", "none"}
+
+    def test_postprocess_dispatch(self):
+        raw = np.array([0.5, -0.1, 0.6])
+        assert np.allclose(postprocess(raw, "norm-sub"), norm_sub(raw))
+
+    def test_none_passthrough(self):
+        raw = np.array([0.5, -0.1, 0.6])
+        assert np.allclose(postprocess(raw, "none"), raw)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            postprocess(np.array([1.0]), "bayes")
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            postprocess(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            postprocess(np.array([np.nan, 0.5]))
+
+
+class TestAccuracyGain:
+    @pytest.mark.parametrize("method", ["clip", "norm-sub", "least-squares"])
+    def test_projection_never_hurts_on_noisy_estimates(self, method, rng):
+        """Projection onto a convex set containing the truth cannot move
+        the estimate farther from the truth (in L2)."""
+        from repro.frequency import OptimizedUnaryEncoding, true_frequencies
+
+        oracle = OptimizedUnaryEncoding(0.5, 8)
+        values = rng.choice(8, size=3_000, p=[0.4, 0.2, 0.1, 0.1,
+                                              0.08, 0.06, 0.04, 0.02])
+        truth = true_frequencies(values, 8)
+        raw = oracle.estimate_frequencies(oracle.privatize(values, rng))
+        raw_err = float(np.sum((raw - truth) ** 2))
+        post_err = float(np.sum((postprocess(raw, method) - truth) ** 2))
+        # clip+rescale is not an exact projection, so allow equality
+        # within a whisker; the exact projections must not be worse.
+        slack = 1.10 if method == "clip" else 1.0 + 1e-12
+        assert post_err <= raw_err * slack
+
+    def test_least_squares_strictly_helps_at_small_eps(self, rng):
+        from repro.frequency import OptimizedUnaryEncoding, true_frequencies
+
+        oracle = OptimizedUnaryEncoding(0.25, 16)
+        values = rng.choice(16, size=2_000)
+        truth = true_frequencies(values, 16)
+        gains = []
+        for _ in range(10):
+            raw = oracle.estimate_frequencies(oracle.privatize(values, rng))
+            raw_err = float(np.sum((raw - truth) ** 2))
+            post_err = float(
+                np.sum((least_squares_simplex(raw) - truth) ** 2)
+            )
+            gains.append(raw_err - post_err)
+        assert np.mean(gains) > 0.0

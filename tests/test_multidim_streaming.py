@@ -1,0 +1,165 @@
+"""Tests for the streaming aggregators."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+from repro.frequency import OptimizedUnaryEncoding
+from repro.multidim import (
+    MixedMultidimCollector,
+    MultidimNumericCollector,
+    StreamingFrequencyAggregator,
+    StreamingMeanAggregator,
+    StreamingMixedAggregator,
+)
+
+
+class TestStreamingMean:
+    def test_matches_batch_exactly(self, rng):
+        collector = MultidimNumericCollector(2.0, 5, "hm")
+        t = rng.uniform(-1, 1, (12_000, 5))
+        reports = collector.privatize(t, rng)
+        batch_estimate = collector.estimate_means(reports)
+
+        stream = StreamingMeanAggregator(5)
+        for chunk in np.array_split(reports, 7):
+            stream.update(chunk)
+        assert np.allclose(stream.estimates(), batch_estimate)
+        assert stream.count == 12_000
+
+    def test_single_row_update(self):
+        stream = StreamingMeanAggregator(3)
+        stream.update(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(stream.estimates(), [1.0, 2.0, 3.0])
+
+    def test_no_reports_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMeanAggregator(3).estimates()
+
+    def test_wrong_width_rejected(self):
+        stream = StreamingMeanAggregator(3)
+        with pytest.raises(ValueError):
+            stream.update(np.zeros((5, 4)))
+
+    def test_bad_d(self):
+        with pytest.raises(ValueError):
+            StreamingMeanAggregator(0)
+
+    def test_merge_equals_combined(self, rng):
+        a_data = rng.normal(0, 1, (100, 4))
+        b_data = rng.normal(0, 1, (50, 4))
+        merged = (
+            StreamingMeanAggregator(4)
+            .update(a_data)
+            .merge(StreamingMeanAggregator(4).update(b_data))
+        )
+        combined = StreamingMeanAggregator(4).update(
+            np.vstack([a_data, b_data])
+        )
+        assert np.allclose(merged.estimates(), combined.estimates())
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            StreamingMeanAggregator(3).merge(StreamingMeanAggregator(4))
+
+
+class TestStreamingFrequency:
+    def test_matches_batch_exactly(self, rng):
+        oracle = OptimizedUnaryEncoding(1.0, 4)
+        values = rng.integers(0, 4, 8_000)
+        reports = oracle.privatize(values, rng)
+        batch = oracle.estimate_frequencies(reports)
+
+        stream = StreamingFrequencyAggregator(oracle)
+        for chunk in np.array_split(reports, 5):
+            stream.update(chunk)
+        assert np.allclose(stream.estimates(), batch)
+
+    def test_no_reports_raises(self):
+        oracle = OptimizedUnaryEncoding(1.0, 4)
+        with pytest.raises(ValueError):
+            StreamingFrequencyAggregator(oracle).estimates()
+
+    def test_merge(self, rng):
+        oracle = OptimizedUnaryEncoding(1.0, 4)
+        values = rng.integers(0, 4, 6_000)
+        reports = oracle.privatize(values, rng)
+        half = len(values) // 2
+        merged = (
+            StreamingFrequencyAggregator(oracle)
+            .update(reports[:half])
+            .merge(
+                StreamingFrequencyAggregator(oracle).update(reports[half:])
+            )
+        )
+        assert np.allclose(
+            merged.estimates(), oracle.estimate_frequencies(reports)
+        )
+
+    def test_merge_domain_mismatch(self):
+        a = StreamingFrequencyAggregator(OptimizedUnaryEncoding(1.0, 4))
+        b = StreamingFrequencyAggregator(OptimizedUnaryEncoding(1.0, 5))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+def _dataset(n, rng):
+    schema = Schema(
+        [
+            NumericAttribute("x"),
+            CategoricalAttribute("c", 4),
+        ]
+    )
+    return Dataset(
+        schema=schema,
+        columns={
+            "x": rng.uniform(-1, 1, n),
+            "c": rng.integers(0, 4, n),
+        },
+    )
+
+
+class TestStreamingMixed:
+    def test_matches_batch_path(self, rng):
+        ds = _dataset(20_000, rng)
+        collector = MixedMultidimCollector(ds.schema, 2.0)
+        stream = StreamingMixedAggregator(collector)
+
+        batches = [ds.subset(idx) for idx in np.array_split(np.arange(ds.n), 4)]
+        all_reports = []
+        for batch in batches:
+            reports = collector.privatize(batch, rng)
+            all_reports.append(reports)
+            stream.update(reports)
+
+        streamed = stream.estimates()
+        assert stream.users == ds.n
+        # Mean estimates: averaging per-batch sums equals global average.
+        combined_numeric = np.vstack([r.numeric for r in all_reports])
+        assert streamed.means["x"] == pytest.approx(
+            float(combined_numeric.mean(axis=0)[0])
+        )
+        assert streamed.frequencies["c"].shape == (4,)
+
+    def test_estimates_close_to_truth(self, rng):
+        ds = _dataset(60_000, rng)
+        collector = MixedMultidimCollector(ds.schema, 2.0)
+        stream = StreamingMixedAggregator(collector)
+        for idx in np.array_split(np.arange(ds.n), 6):
+            stream.update(collector.privatize(ds.subset(idx), rng))
+        estimates = stream.estimates()
+        assert estimates.mean_mse(ds.true_numeric_means()) < 0.01
+        assert estimates.frequency_mse(ds.true_categorical_frequencies()) < 0.01
+
+    def test_no_reports_raises(self, rng):
+        ds = _dataset(10, rng)
+        stream = StreamingMixedAggregator(
+            MixedMultidimCollector(ds.schema, 1.0)
+        )
+        with pytest.raises(ValueError):
+            stream.estimates()

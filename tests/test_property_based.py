@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These target deterministic properties — closed-form identities, domain
+invariants, privacy ratio bounds computed from exact pmfs/pdfs — so they
+hold for *every* generated input, not just on average.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DuchiMechanism,
+    HybridMechanism,
+    PiecewiseMechanism,
+    SCDFMechanism,
+    StaircaseMechanism,
+)
+from repro.data.normalize import denormalize_from_unit, normalize_to_unit
+from repro.frequency.encoders import one_hot, true_frequencies
+from repro.frequency.grr import GeneralizedRandomizedResponse
+from repro.frequency.unary import OptimizedUnaryEncoding
+from repro.multidim import sample_attribute_matrix
+from repro.sgd.trainer import clip_gradients
+from repro.theory.constants import duchi_cd, hybrid_alpha, optimal_k, pm_c, pm_p
+from repro.theory.variance import (
+    duchi_1d_worst_variance,
+    duchi_md_worst_variance,
+    hm_md_worst_variance,
+    hm_worst_variance,
+    pm_md_worst_variance,
+    pm_worst_variance,
+)
+
+EPS = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+UNIT = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+DIM = st.integers(min_value=2, max_value=64)
+
+
+class TestPiecewiseMechanismProperties:
+    @given(eps=EPS, t=UNIT)
+    @settings(max_examples=200, deadline=None)
+    def test_plateau_inside_support(self, eps, t):
+        pm = PiecewiseMechanism(eps)
+        lo, hi = float(pm.left(t)), float(pm.right(t))
+        assert -pm.c - 1e-9 <= lo <= hi <= pm.c + 1e-9
+
+    @given(eps=EPS, t=UNIT)
+    @settings(max_examples=200, deadline=None)
+    def test_pdf_mass_is_one(self, eps, t):
+        """p (r - l) + (p/e^eps) (2C - (r - l)) = 1 algebraically."""
+        pm = PiecewiseMechanism(eps)
+        plateau = pm.p * (pm.c - 1.0)
+        wings = pm.p / math.exp(eps) * (2.0 * pm.c - (pm.c - 1.0))
+        assert plateau + wings == pytest.approx(1.0, abs=1e-9)
+
+    @given(eps=EPS, t=UNIT, t_prime=UNIT)
+    @settings(max_examples=200, deadline=None)
+    def test_ldp_ratio_bound_pointwise(self, eps, t, t_prime):
+        pm = PiecewiseMechanism(eps)
+        x = np.linspace(-pm.c + 1e-9, pm.c - 1e-9, 257)
+        ratio = pm.pdf(x, t) / pm.pdf(x, t_prime)
+        assert float(ratio.max()) <= math.exp(eps) * (1 + 1e-9)
+
+    @given(eps=EPS, t=UNIT)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_mean_from_pdf(self, eps, t):
+        """Integrating x pdf(x|t) analytically over the three pieces
+        recovers t — unbiasedness as an algebraic identity."""
+        pm = PiecewiseMechanism(eps)
+        lo, hi = float(pm.left(t)), float(pm.right(t))
+        w = pm.p / math.exp(eps)
+
+        def segment_mean(a, b, density):
+            return density * (b**2 - a**2) / 2.0
+
+        mean = (
+            segment_mean(-pm.c, lo, w)
+            + segment_mean(lo, hi, pm.p)
+            + segment_mean(hi, pm.c, w)
+        )
+        assert mean == pytest.approx(t, abs=1e-9)
+
+    @given(eps=EPS)
+    @settings(max_examples=100, deadline=None)
+    def test_c_p_positive(self, eps):
+        assert pm_c(eps) > 1.0
+        assert pm_p(eps) > 0.0
+
+
+class TestOrderingProperties:
+    @given(eps=EPS)
+    @settings(max_examples=200, deadline=None)
+    def test_hm_is_lower_envelope_1d(self, eps):
+        hm = hm_worst_variance(eps)
+        assert hm <= pm_worst_variance(eps) + 1e-12
+        assert hm <= duchi_1d_worst_variance(eps) + 1e-12
+
+    @given(eps=EPS, d=DIM)
+    @settings(max_examples=200, deadline=None)
+    def test_corollary2_everywhere(self, eps, d):
+        hm = hm_md_worst_variance(eps, d)
+        pm = pm_md_worst_variance(eps, d)
+        du = duchi_md_worst_variance(eps, d)
+        assert hm < pm < du
+
+    @given(eps=EPS)
+    @settings(max_examples=100, deadline=None)
+    def test_alpha_valid(self, eps):
+        assert 0.0 <= hybrid_alpha(eps) < 1.0
+
+    @given(eps=st.floats(min_value=0.05, max_value=100.0), d=DIM)
+    @settings(max_examples=200, deadline=None)
+    def test_k_in_range(self, eps, d):
+        assert 1 <= optimal_k(eps, d) <= d
+
+    @given(d=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_cd_at_least_one_and_split_no_larger(self, d):
+        assert duchi_cd(d, "split") <= duchi_cd(d, "shared")
+        assert duchi_cd(d, "split") >= 1.0
+
+
+class TestMechanismOutputProperties:
+    @given(
+        eps=EPS,
+        values=st.lists(UNIT, min_size=1, max_size=30),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pm_output_in_range(self, eps, values, seed):
+        pm = PiecewiseMechanism(eps)
+        out = pm.privatize(np.array(values), seed)
+        assert np.all(np.abs(out) <= pm.c + 1e-9)
+
+    @given(
+        eps=EPS,
+        values=st.lists(UNIT, min_size=1, max_size=30),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duchi_output_two_point(self, eps, values, seed):
+        mech = DuchiMechanism(eps)
+        out = mech.privatize(np.array(values), seed)
+        assert np.all(np.isclose(np.abs(out), mech.bound))
+
+    @given(
+        eps=EPS,
+        seed=st.integers(min_value=0, max_value=2**31),
+        t=UNIT,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hm_output_in_union_range(self, eps, seed, t):
+        hm = HybridMechanism(eps)
+        lo, hi = hm.output_range()
+        out = hm.privatize(np.full(16, t), seed)
+        assert np.all((out >= lo - 1e-9) & (out <= hi + 1e-9))
+
+    @given(eps=EPS)
+    @settings(max_examples=60, deadline=None)
+    def test_piecewise_constant_normalization(self, eps):
+        """SCDF/Staircase constructors assert the mass identity; here we
+        confirm it holds over the whole eps range hypothesis explores."""
+        for cls in (SCDFMechanism, StaircaseMechanism):
+            mech = cls(eps)
+            decay = math.exp(-eps)
+            total = 2.0 * mech.m * mech.a + 2.0 * (
+                2.0 * mech.a * decay / (1.0 - decay)
+            )
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFrequencyOracleProperties:
+    @given(eps=EPS, k=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=150, deadline=None)
+    def test_grr_pmf_valid_and_tight(self, eps, k):
+        oracle = GeneralizedRandomizedResponse(eps, k)
+        p, q = oracle.support_probabilities
+        assert p + (k - 1) * q == pytest.approx(1.0)
+        assert p / q == pytest.approx(math.exp(eps))
+
+    @given(eps=EPS, k=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=150, deadline=None)
+    def test_oue_bit_ratio_bound(self, eps, k):
+        oracle = OptimizedUnaryEncoding(eps, k)
+        p, q = oracle.support_probabilities
+        ratio = (p * (1 - q)) / (q * (1 - p))
+        assert ratio <= math.exp(eps) * (1 + 1e-9)
+
+    @given(
+        k=st.integers(min_value=2, max_value=12),
+        values=st.lists(
+            st.integers(min_value=0, max_value=11), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_one_hot_roundtrip(self, k, values):
+        values = [v % k for v in values]
+        encoded = one_hot(values, k)
+        assert np.array_equal(np.argmax(encoded, axis=1), values)
+        assert np.all(encoded.sum(axis=1) == 1.0)
+
+    @given(
+        k=st.integers(min_value=2, max_value=12),
+        values=st.lists(
+            st.integers(min_value=0, max_value=11), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_true_frequencies_normalized(self, k, values):
+        values = [v % k for v in values]
+        freqs = true_frequencies(values, k)
+        assert freqs.sum() == pytest.approx(1.0)
+        assert np.all(freqs >= 0.0)
+
+
+class TestDataProperties:
+    @given(
+        low=st.floats(min_value=-1e5, max_value=1e5 - 1, allow_nan=False),
+        width=st.floats(min_value=1e-3, max_value=1e5, allow_nan=False),
+        u=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_normalize_roundtrip(self, low, width, u):
+        high = low + width
+        value = low + u * width
+        normalized = normalize_to_unit([value], low, high)
+        assert -1.0 <= normalized[0] <= 1.0
+        back = denormalize_from_unit(normalized, low, high)
+        assert back[0] == pytest.approx(value, abs=1e-6 * max(1.0, width))
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        bound=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_clip_gradients_bound(self, values, bound):
+        out = clip_gradients(np.array(values), bound)
+        assert np.all(np.abs(out) <= bound)
+        # Values already inside are untouched.
+        inside = np.abs(np.array(values)) <= bound
+        assert np.allclose(out[inside], np.array(values)[inside])
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        d=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_attribute_sampling_invariants(self, n, d, seed, data):
+        k = data.draw(st.integers(min_value=1, max_value=d))
+        idx = sample_attribute_matrix(n, d, k, seed)
+        assert idx.shape == (n, k)
+        assert idx.min() >= 0 and idx.max() < d
+        for row in idx:
+            assert len(set(row.tolist())) == k

@@ -1,0 +1,155 @@
+"""Tests for the ERM losses, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.sgd.losses import (
+    HingeLoss,
+    LinearRegressionLoss,
+    LogisticRegressionLoss,
+    get_loss,
+)
+
+LOSSES = {
+    "linear": LinearRegressionLoss,
+    "logistic": LogisticRegressionLoss,
+    "svm": HingeLoss,
+}
+
+
+def _finite_difference_grad(loss, beta, x, y, h=1e-6):
+    """Central-difference per-sample gradients."""
+    n, p = x.shape
+    grads = np.zeros((n, p))
+    for j in range(p):
+        plus = beta.copy()
+        plus[j] += h
+        minus = beta.copy()
+        minus[j] -= h
+        grads[:, j] = (loss.value(plus, x, y) - loss.value(minus, x, y)) / (
+            2 * h
+        )
+    return grads
+
+
+class TestRegistry:
+    def test_get_loss(self):
+        assert isinstance(get_loss("linear"), LinearRegressionLoss)
+        assert isinstance(get_loss("logistic"), LogisticRegressionLoss)
+        assert isinstance(get_loss("svm"), HingeLoss)
+
+    def test_unknown_loss(self):
+        with pytest.raises(KeyError):
+            get_loss("huber")
+
+    def test_binary_label_flags(self):
+        assert not get_loss("linear").binary_labels
+        assert get_loss("logistic").binary_labels
+        assert get_loss("svm").binary_labels
+
+
+class TestGradientsMatchFiniteDifferences:
+    @pytest.mark.parametrize("name", ["linear", "logistic"])
+    def test_smooth_losses(self, name, rng):
+        loss = get_loss(name)
+        x = rng.uniform(-1, 1, (20, 5))
+        if loss.binary_labels:
+            y = rng.choice([-1.0, 1.0], 20)
+        else:
+            y = rng.uniform(-1, 1, 20)
+        beta = rng.normal(0, 0.5, 5)
+        analytic = loss.gradient(beta, x, y)
+        numeric = _finite_difference_grad(loss, beta, x, y)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_hinge_away_from_kink(self, rng):
+        loss = get_loss("svm")
+        x = rng.uniform(-1, 1, (50, 4))
+        y = rng.choice([-1.0, 1.0], 50)
+        beta = rng.normal(0, 0.5, 4)
+        margins = y * (x @ beta)
+        smooth = np.abs(margins - 1.0) > 1e-3  # away from the kink
+        analytic = loss.gradient(beta, x, y)[smooth]
+        numeric = _finite_difference_grad(loss, x=x, y=y, beta=beta)[smooth]
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestLossValues:
+    def test_linear_zero_at_perfect_fit(self):
+        loss = get_loss("linear")
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        beta = np.array([0.3, -0.4])
+        y = x @ beta
+        assert loss.mean_value(beta, x, y) == pytest.approx(0.0)
+
+    def test_logistic_at_zero_beta(self):
+        loss = get_loss("logistic")
+        x = np.ones((4, 2))
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        assert loss.mean_value(np.zeros(2), x, y) == pytest.approx(
+            np.log(2.0)
+        )
+
+    def test_logistic_stable_for_large_margins(self):
+        loss = get_loss("logistic")
+        x = np.array([[1000.0]])
+        beta = np.array([1.0])
+        assert np.isfinite(loss.value(beta, x, np.array([1.0])))[0]
+        assert np.isfinite(loss.value(beta, x, np.array([-1.0])))[0]
+        assert np.all(np.isfinite(loss.gradient(beta, x, np.array([-1.0]))))
+
+    def test_hinge_zero_beyond_margin(self):
+        loss = get_loss("svm")
+        x = np.array([[2.0]])
+        y = np.array([1.0])
+        beta = np.array([1.0])  # margin = 2 > 1
+        assert loss.value(beta, x, y)[0] == 0.0
+        assert np.all(loss.gradient(beta, x, y) == 0.0)
+
+    def test_hinge_active_inside_margin(self):
+        loss = get_loss("svm")
+        x = np.array([[0.5]])
+        y = np.array([1.0])
+        beta = np.array([1.0])  # margin = 0.5 < 1
+        assert loss.value(beta, x, y)[0] == pytest.approx(0.5)
+        assert loss.gradient(beta, x, y)[0, 0] == pytest.approx(-0.5)
+
+
+class TestPredictions:
+    def test_linear_predict(self):
+        loss = get_loss("linear")
+        x = np.array([[1.0, 2.0]])
+        assert loss.predict(np.array([0.5, 0.25]), x)[0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["logistic", "svm"])
+    def test_classifiers_predict_signs(self, name, rng):
+        loss = get_loss(name)
+        x = rng.uniform(-1, 1, (30, 3))
+        beta = rng.normal(0, 1, 3)
+        preds = loss.predict(beta, x)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_logistic_proba_in_unit_interval(self, rng):
+        loss = get_loss("logistic")
+        x = rng.uniform(-1, 1, (30, 3))
+        proba = loss.predict_proba(rng.normal(0, 1, 3), x)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_logistic_proba_consistent_with_predict(self, rng):
+        loss = get_loss("logistic")
+        x = rng.uniform(-1, 1, (30, 3))
+        beta = rng.normal(0, 1, 3)
+        preds = loss.predict(beta, x)
+        proba = loss.predict_proba(beta, x)
+        assert np.all((proba >= 0.5) == (preds == 1.0))
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        loss = get_loss("linear")
+        with pytest.raises(ValueError):
+            loss.value(np.zeros(2), np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            loss.value(np.zeros(3), np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            loss.value(np.zeros(3), np.zeros(3), np.zeros(3))

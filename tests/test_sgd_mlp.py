@@ -1,0 +1,123 @@
+"""Tests for the LDP neural network (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.sgd.mlp import MLPClassifier, MLPLoss
+from repro.sgd.trainer import LDPSGDTrainer, NonPrivateSGDTrainer
+
+
+def _xor_data(rng, n=20_000):
+    """A task no linear model can solve: sign(x0 * x1)."""
+    x = rng.uniform(-1, 1, (n, 2))
+    y = np.where(x[:, 0] * x[:, 1] > 0, 1.0, -1.0)
+    return x, y
+
+
+class TestMLPLoss:
+    def test_parameter_dim(self):
+        loss = MLPLoss(hidden=8)
+        # W1 (8 x 5) + b1 (8) + w2 (8) + b2 (1).
+        assert loss.parameter_dim(5) == 8 * 5 + 8 + 8 + 1
+
+    def test_initial_parameters_random_and_seeded(self):
+        loss = MLPLoss(hidden=4)
+        a = loss.initial_parameters(3, 0)
+        b = loss.initial_parameters(3, 0)
+        c = loss.initial_parameters(3, 1)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.any(a != 0.0)  # zeros would be a saddle point
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MLPLoss(hidden=0)
+        with pytest.raises(ValueError):
+            MLPLoss(init_scale=0.0)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        loss = MLPLoss(hidden=3)
+        x = rng.uniform(-1, 1, (8, 4))
+        y = rng.choice([-1.0, 1.0], 8)
+        beta = loss.initial_parameters(4, rng)
+        analytic = loss.gradient(beta, x, y)
+        h = 1e-6
+        numeric = np.zeros_like(analytic)
+        for j in range(beta.size):
+            plus, minus = beta.copy(), beta.copy()
+            plus[j] += h
+            minus[j] -= h
+            numeric[:, j] = (
+                loss.value(plus, x, y) - loss.value(minus, x, y)
+            ) / (2 * h)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_value_stable_for_large_scores(self):
+        loss = MLPLoss(hidden=2)
+        beta = np.full(loss.parameter_dim(1), 50.0)
+        x = np.array([[1.0]])
+        assert np.isfinite(loss.value(beta, x, np.array([1.0])))[0]
+        assert np.all(np.isfinite(loss.gradient(beta, x, np.array([-1.0]))))
+
+    def test_predictions_are_signs(self, rng):
+        loss = MLPLoss(hidden=4)
+        beta = loss.initial_parameters(3, rng)
+        preds = loss.predict(beta, rng.uniform(-1, 1, (20, 3)))
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_proba_in_unit_interval(self, rng):
+        loss = MLPLoss(hidden=4)
+        beta = loss.initial_parameters(3, rng)
+        proba = loss.predict_proba(beta, rng.uniform(-1, 1, (20, 3)))
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_wrong_beta_length_rejected(self, rng):
+        loss = MLPLoss(hidden=4)
+        with pytest.raises(ValueError):
+            loss.value(np.zeros(5), rng.uniform(-1, 1, (4, 3)),
+                       np.ones(4))
+
+
+class TestMLPClassifier:
+    def test_solves_xor_nonprivately(self, rng):
+        x, y = _xor_data(rng)
+        model = MLPClassifier(hidden=8).fit(x, y, rng)
+        assert model.score(x, y) < 0.2
+
+    def test_linear_models_cannot(self, rng):
+        from repro.sgd import SupportVectorMachine
+
+        x, y = _xor_data(rng)
+        linear = SupportVectorMachine().fit(x, y, rng)
+        assert linear.score(x, y) > 0.4  # chance-level
+
+    def test_ldp_mlp_beats_chance_on_xor(self, rng):
+        x, y = _xor_data(rng, n=30_000)
+        model = MLPClassifier(epsilon=4.0, hidden=8).fit(x, y, rng)
+        assert model.score(x, y) < 0.42
+
+    def test_trainer_types(self):
+        assert isinstance(MLPClassifier().trainer, NonPrivateSGDTrainer)
+        assert isinstance(MLPClassifier(epsilon=1.0).trainer, LDPSGDTrainer)
+
+    def test_gradient_dimension_drives_group_size(self, rng):
+        """The LDP collector must operate on the full parameter vector
+        (not the feature dimension)."""
+        x, y = _xor_data(rng, n=2_000)
+        model = MLPClassifier(epsilon=2.0, hidden=4, group_size=500)
+        model.fit(x, y, rng)
+        assert model.beta.shape == (model.loss.parameter_dim(2),)
+
+    def test_hidden_property(self):
+        assert MLPClassifier(hidden=6).hidden == 6
+
+    def test_predict_proba(self, rng):
+        x, y = _xor_data(rng, n=2_000)
+        model = MLPClassifier(hidden=4).fit(x, y, rng)
+        proba = model.predict_proba(x[:50])
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_binary_labels_enforced(self, rng):
+        model = MLPClassifier(hidden=4)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.linspace(0, 1, 10), rng)

@@ -1,0 +1,140 @@
+"""Tests for the model wrappers, metrics and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.sgd.crossval import cross_validate, k_fold_indices
+from repro.sgd.metrics import (
+    accuracy,
+    mean_squared_error,
+    misclassification_rate,
+)
+from repro.sgd.models import (
+    LinearRegression,
+    LogisticRegression,
+    SupportVectorMachine,
+)
+
+
+def _classification_data(rng, n=8_000):
+    x = rng.uniform(-1, 1, (n, 3))
+    w = np.array([1.0, -0.8, 0.4])
+    y = np.where(x @ w + rng.normal(0, 0.1, n) > 0, 1.0, -1.0)
+    return x, y
+
+
+class TestMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 3.0], [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_misclassification(self):
+        assert misclassification_rate([1, -1, 1], [1, 1, 1]) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_accuracy_complement(self):
+        assert accuracy([1, -1], [1, 1]) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            misclassification_rate([1], [1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+        with pytest.raises(ValueError):
+            misclassification_rate([], [])
+
+
+class TestModels:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_fit_returns_self(self, rng):
+        x, y = _classification_data(rng, 500)
+        model = SupportVectorMachine()
+        assert model.fit(x, y, rng) is model
+
+    def test_linear_regression_nonprivate(self, rng):
+        x = rng.uniform(-1, 1, (5_000, 3))
+        beta = np.array([0.4, -0.2, 0.1])
+        y = np.clip(x @ beta + rng.normal(0, 0.05, 5_000), -1, 1)
+        model = LinearRegression().fit(x, y, rng)
+        assert model.score(x, y) < 0.02
+
+    @pytest.mark.parametrize("cls", [LogisticRegression, SupportVectorMachine])
+    def test_classifiers_nonprivate(self, cls, rng):
+        x, y = _classification_data(rng)
+        model = cls().fit(x, y, rng)
+        assert model.score(x, y) < 0.2
+
+    @pytest.mark.parametrize("cls", [LogisticRegression, SupportVectorMachine])
+    def test_classifiers_private_beat_chance(self, cls, rng):
+        x, y = _classification_data(rng, 30_000)
+        model = cls(epsilon=4.0, method="hm").fit(x, y, rng)
+        assert model.score(x, y) < 0.42
+
+    def test_logistic_proba(self, rng):
+        x, y = _classification_data(rng, 2_000)
+        model = LogisticRegression().fit(x, y, rng)
+        proba = model.predict_proba(x)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_private_flag_picks_trainer(self):
+        from repro.sgd.trainer import LDPSGDTrainer, NonPrivateSGDTrainer
+
+        assert isinstance(LinearRegression().trainer, NonPrivateSGDTrainer)
+        assert isinstance(
+            LinearRegression(epsilon=1.0).trainer, LDPSGDTrainer
+        )
+
+    def test_per_loss_default_eta(self):
+        assert LogisticRegression.default_eta > SupportVectorMachine.default_eta
+        assert SupportVectorMachine.default_eta > LinearRegression.default_eta
+
+
+class TestKFold:
+    def test_partition(self, rng):
+        folds = k_fold_indices(100, 10, rng)
+        assert len(folds) == 10
+        united = np.concatenate(folds)
+        assert sorted(united.tolist()) == list(range(100))
+
+    def test_near_equal_sizes(self, rng):
+        folds = k_fold_indices(103, 10, rng)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            k_fold_indices(3, 5, rng)
+
+
+class TestCrossValidate:
+    def test_score_count(self, rng):
+        x, y = _classification_data(rng, 1_000)
+        scores = cross_validate(
+            lambda: SupportVectorMachine(), x, y, k=5, repeats=2, rng=rng
+        )
+        assert len(scores) == 10
+
+    def test_scores_reasonable(self, rng):
+        x, y = _classification_data(rng, 4_000)
+        scores = cross_validate(
+            lambda: SupportVectorMachine(), x, y, k=4, rng=rng
+        )
+        assert all(0.0 <= s <= 0.5 for s in scores)
+
+    def test_xy_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            cross_validate(
+                lambda: SupportVectorMachine(),
+                np.zeros((10, 2)),
+                np.zeros(9),
+                rng=rng,
+            )

@@ -1,0 +1,176 @@
+"""Tests for the closed-form constants (eps*, eps#, C_d, B, alpha, k)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.constants import (
+    EPSILON_SHARP,
+    EPSILON_STAR,
+    duchi_b,
+    duchi_cd,
+    hybrid_alpha,
+    optimal_k,
+    pm_c,
+    pm_p,
+)
+from repro.theory.variance import (
+    duchi_1d_worst_variance,
+    hm_worst_variance,
+    pm_worst_variance,
+)
+
+
+def _bisect(f, lo, hi, tol=1e-12):
+    """Simple bisection for a sign-changing continuous function."""
+    flo = f(lo)
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        fmid = f(mid)
+        if abs(fmid) < tol:
+            return mid
+        if (flo < 0) == (fmid < 0):
+            lo, flo = mid, fmid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+class TestEpsilonStar:
+    def test_value_matches_paper(self):
+        assert EPSILON_STAR == pytest.approx(0.61, abs=0.005)
+
+    def test_is_root_of_switching_equation(self):
+        """At eps*, the eps > eps* branch of Eq. (8) equals Duchi's
+        worst-case variance — the two alpha regimes meet."""
+
+        def gap(eps):
+            e_half = math.exp(eps / 2.0)
+            e_full = math.exp(eps)
+            branch = (e_half + 3.0) / (3.0 * e_half * (e_half - 1.0)) + (
+                e_full + 1.0
+            ) ** 2 / (e_half * (e_full - 1.0) ** 2)
+            return branch - duchi_1d_worst_variance(eps)
+
+        root = _bisect(gap, 0.3, 1.0)
+        assert root == pytest.approx(EPSILON_STAR, abs=1e-6)
+
+
+class TestEpsilonSharp:
+    def test_value_matches_paper(self):
+        assert EPSILON_SHARP == pytest.approx(1.29, abs=0.005)
+
+    def test_is_crossing_of_pm_and_duchi(self):
+        def gap(eps):
+            return pm_worst_variance(eps) - duchi_1d_worst_variance(eps)
+
+        root = _bisect(gap, 1.0, 1.6)
+        assert root == pytest.approx(EPSILON_SHARP, abs=1e-6)
+
+    def test_ordering_flips_at_sharp(self):
+        assert pm_worst_variance(EPSILON_SHARP - 0.05) > duchi_1d_worst_variance(
+            EPSILON_SHARP - 0.05
+        )
+        assert pm_worst_variance(EPSILON_SHARP + 0.05) < duchi_1d_worst_variance(
+            EPSILON_SHARP + 0.05
+        )
+
+
+class TestHybridAlpha:
+    def test_zero_below_star(self):
+        assert hybrid_alpha(0.5) == 0.0
+
+    def test_formula_above_star(self):
+        assert hybrid_alpha(3.0) == pytest.approx(1.0 - math.exp(-1.5))
+
+    def test_alpha_in_unit_interval(self):
+        for eps in np.linspace(0.05, 10.0, 50):
+            assert 0.0 <= hybrid_alpha(float(eps)) < 1.0
+
+    def test_alpha_is_optimal_among_grid(self):
+        """No alpha on a fine grid achieves a smaller worst-case
+        variance than Eq. (7)'s choice (Lemma 3)."""
+        from repro.theory.variance import hm_variance
+
+        for eps in (0.4, 0.8, 1.5, 3.0):
+            best = hm_worst_variance(eps)
+            grid_t = np.linspace(-1, 1, 101)
+            for alpha in np.linspace(0.0, 1.0, 101):
+                worst = float(np.max(hm_variance(grid_t, eps, alpha)))
+                assert worst >= best - 1e-9
+
+
+class TestOptimalK:
+    def test_small_epsilon_gives_one(self):
+        assert optimal_k(1.0, 10) == 1
+        assert optimal_k(2.4, 10) == 1
+
+    def test_floor_rule(self):
+        assert optimal_k(5.0, 10) == 2
+        assert optimal_k(7.5, 10) == 3
+        assert optimal_k(25.0, 10) == 10  # capped at d
+
+    def test_capped_by_d(self):
+        assert optimal_k(100.0, 3) == 3
+
+    def test_at_least_one(self):
+        assert optimal_k(0.01, 5) == 1
+
+    def test_k_minimizes_worst_variance_over_choices(self):
+        """Eq. (12)'s k is (near-)optimal among all k in 1..d for the
+        PM-based collector's worst-case variance."""
+        from repro.theory.variance import pm_md_worst_variance
+
+        for eps, d in ((1.0, 8), (4.0, 8), (10.0, 8), (25.0, 8)):
+            chosen = optimal_k(eps, d)
+            best_k = min(
+                range(1, d + 1),
+                key=lambda k: pm_md_worst_variance(eps, d, k),
+            )
+            chosen_var = pm_md_worst_variance(eps, d, chosen)
+            best_var = pm_md_worst_variance(eps, d, best_k)
+            # The floor rule is a (tight) approximation of the argmin.
+            assert chosen_var <= best_var * 1.35
+
+
+class TestPmConstants:
+    def test_c_times_p_relation(self, epsilon):
+        """Total mass: p (C-1) + (p/e^eps)(C+1) = 1."""
+        c, p = pm_c(epsilon), pm_p(epsilon)
+        mass = p * (c - 1.0) + (p / math.exp(epsilon)) * (c + 1.0)
+        assert mass == pytest.approx(1.0)
+
+    def test_c_diverges_as_eps_vanishes(self):
+        assert pm_c(0.01) > 100.0
+
+    def test_c_tends_to_one_at_large_eps(self):
+        assert pm_c(20.0) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestDuchiConstants:
+    @pytest.mark.parametrize("d", range(1, 12))
+    def test_cd_at_least_one(self, d):
+        assert duchi_cd(d) >= 1.0
+
+    @pytest.mark.parametrize("d", [1, 3, 5, 7, 9])
+    def test_variants_equal_odd(self, d):
+        assert duchi_cd(d, "shared") == duchi_cd(d, "split")
+
+    @pytest.mark.parametrize("d", [2, 4, 6, 8])
+    def test_shared_exceeds_split_even(self, d):
+        assert duchi_cd(d, "shared") > duchi_cd(d, "split")
+
+    def test_split_d2(self):
+        assert duchi_cd(2, "split") == pytest.approx(2.0)
+
+    def test_split_d4(self):
+        assert duchi_cd(4, "split") == pytest.approx(8.0 / 3.0)
+
+    def test_b_decreasing_in_epsilon(self):
+        bs = [duchi_b(e, 5) for e in (0.5, 1.0, 2.0, 4.0)]
+        assert bs == sorted(bs, reverse=True)
+
+    def test_invalid_tie_breaking(self):
+        with pytest.raises(ValueError):
+            duchi_cd(4, "both")

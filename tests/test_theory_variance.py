@@ -1,0 +1,206 @@
+"""Tests for the closed-form variance functions and the paper's
+orderings (Table I, Corollaries 1-2, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+    SCDFMechanism,
+    StaircaseMechanism,
+)
+from repro.multidim import MultidimNumericCollector
+from repro.theory.constants import EPSILON_SHARP, EPSILON_STAR, optimal_k
+from repro.theory.variance import (
+    duchi_1d_variance,
+    duchi_1d_worst_variance,
+    duchi_md_variance,
+    duchi_md_worst_variance,
+    hm_md_variance,
+    hm_md_worst_variance,
+    hm_variance,
+    hm_worst_variance,
+    laplace_variance,
+    pm_md_variance,
+    pm_md_worst_variance,
+    pm_variance,
+    pm_worst_variance,
+    scdf_variance,
+    staircase_variance,
+    worst_variance_ratio_vs_duchi,
+)
+
+GRID = np.linspace(-1, 1, 41)
+
+
+class TestCrossCheckAgainstMechanisms:
+    """The theory module is an independent implementation; it must agree
+    with each mechanism class's variance() method."""
+
+    def test_laplace(self, epsilon):
+        assert laplace_variance(epsilon) == pytest.approx(
+            LaplaceMechanism(epsilon).worst_case_variance()
+        )
+
+    def test_scdf(self, epsilon):
+        assert scdf_variance(epsilon) == pytest.approx(
+            SCDFMechanism(epsilon).noise_variance()
+        )
+
+    def test_staircase(self, epsilon):
+        assert staircase_variance(epsilon) == pytest.approx(
+            StaircaseMechanism(epsilon).noise_variance()
+        )
+
+    def test_duchi(self, epsilon):
+        mech = DuchiMechanism(epsilon)
+        assert np.allclose(duchi_1d_variance(GRID, epsilon), mech.variance(GRID))
+
+    def test_pm(self, epsilon):
+        mech = PiecewiseMechanism(epsilon)
+        assert np.allclose(pm_variance(GRID, epsilon), mech.variance(GRID))
+
+    def test_hm(self, epsilon):
+        mech = HybridMechanism(epsilon)
+        assert np.allclose(hm_variance(GRID, epsilon), mech.variance(GRID))
+
+    def test_md_collector_pm(self, epsilon):
+        collector = MultidimNumericCollector(epsilon, 8, "pm")
+        assert np.allclose(
+            pm_md_variance(GRID, epsilon, 8, collector.k),
+            collector.per_coordinate_variance(GRID),
+        )
+
+    def test_md_collector_hm(self, epsilon):
+        collector = MultidimNumericCollector(epsilon, 8, "hm")
+        assert np.allclose(
+            hm_md_variance(GRID, epsilon, 8, collector.k),
+            collector.per_coordinate_variance(GRID),
+        )
+
+
+class TestOneDimensionalOrdering:
+    """Table I's d = 1 block."""
+
+    def test_above_sharp(self):
+        for eps in (1.5, 2.0, 4.0, 8.0):
+            hm = hm_worst_variance(eps)
+            pm = pm_worst_variance(eps)
+            du = duchi_1d_worst_variance(eps)
+            assert hm < pm < du
+
+    def test_at_sharp(self):
+        assert pm_worst_variance(EPSILON_SHARP) == pytest.approx(
+            duchi_1d_worst_variance(EPSILON_SHARP), rel=1e-9
+        )
+        assert hm_worst_variance(EPSILON_SHARP) < pm_worst_variance(
+            EPSILON_SHARP
+        )
+
+    def test_between_star_and_sharp(self):
+        for eps in (0.7, 0.9, 1.1):
+            hm = hm_worst_variance(eps)
+            pm = pm_worst_variance(eps)
+            du = duchi_1d_worst_variance(eps)
+            assert hm < du < pm
+
+    def test_at_or_below_star(self):
+        for eps in (0.2, 0.4, EPSILON_STAR):
+            assert hm_worst_variance(eps) == pytest.approx(
+                duchi_1d_worst_variance(eps)
+            )
+            assert duchi_1d_worst_variance(eps) < pm_worst_variance(eps)
+
+    def test_pm_beats_laplace_everywhere(self):
+        for eps in np.linspace(0.05, 10.0, 60):
+            assert pm_worst_variance(float(eps)) < laplace_variance(float(eps))
+
+    def test_duchi_worst_variance_never_below_one(self):
+        """Duchi's noisy value always has |t*| > 1, so its variance at
+        t = 0 stays above 1 for every eps — the deficiency motivating PM."""
+        for eps in (1.0, 4.0, 16.0):
+            assert duchi_1d_worst_variance(eps) > 1.0
+        # At float precision the limit is exactly 1 for huge eps.
+        assert duchi_1d_worst_variance(64.0) >= 1.0
+
+
+class TestMultidimensionalOrdering:
+    """Corollary 2: HM < PM < Duchi in worst case for all d > 1, eps > 0."""
+
+    @pytest.mark.parametrize("d", [2, 3, 5, 10, 20, 40])
+    def test_corollary2(self, d):
+        for eps in (0.2, 0.61, 1.0, 1.29, 2.5, 5.0, 8.0):
+            hm = hm_md_worst_variance(eps, d)
+            pm = pm_md_worst_variance(eps, d)
+            du = duchi_md_worst_variance(eps, d)
+            assert hm < pm < du
+
+    @pytest.mark.parametrize("d", [5, 10, 20, 40])
+    def test_fig3_ratios_below_one(self, d):
+        for eps in (0.5, 1.0, 2.0, 4.0, 8.0):
+            assert worst_variance_ratio_vs_duchi(eps, d, "pm") < 1.0
+            assert worst_variance_ratio_vs_duchi(eps, d, "hm") < 1.0
+
+    @pytest.mark.parametrize("d", [5, 10, 20, 40])
+    def test_fig3_hm_at_most_77_percent(self, d):
+        """The paper: 'the worst-case variance of HM is at most 77% of
+        Duchi et al.'s' for d in {5, 10, 20, 40}."""
+        ratios = [
+            worst_variance_ratio_vs_duchi(eps, d, "hm")
+            for eps in np.linspace(0.1, 8.0, 40)
+        ]
+        assert max(ratios) <= 0.77
+
+    def test_ratio_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            worst_variance_ratio_vs_duchi(1.0, 5, "laplace")
+
+
+class TestMultidimFormulas:
+    def test_pm_md_reduces_to_1d(self):
+        """With d = k = 1 Eq. (14) is Lemma 1's variance."""
+        for eps in (0.5, 1.0, 2.0):
+            assert np.allclose(
+                pm_md_variance(GRID, eps, 1, 1), pm_variance(GRID, eps)
+            )
+
+    def test_hm_md_reduces_to_1d(self):
+        for eps in (0.5, 1.0, 2.0):
+            assert np.allclose(
+                hm_md_variance(GRID, eps, 1, 1), hm_variance(GRID, eps)
+            )
+
+    def test_duchi_md_reduces_to_1d(self):
+        assert np.allclose(
+            duchi_md_variance(GRID, 1.0, 1), duchi_1d_variance(GRID, 1.0)
+        )
+
+    def test_pm_md_worst_at_one(self):
+        eps, d = 1.0, 8
+        grid_max = float(np.max(pm_md_variance(GRID, eps, d)))
+        assert pm_md_worst_variance(eps, d) == pytest.approx(grid_max)
+
+    def test_duchi_md_worst_at_zero(self):
+        eps, d = 1.0, 8
+        grid_max = float(np.max(duchi_md_variance(GRID, eps, d)))
+        assert duchi_md_worst_variance(eps, d) == pytest.approx(grid_max)
+
+    def test_default_k_is_eq12(self):
+        eps, d = 6.0, 10
+        assert pm_md_variance(0.5, eps, d) == pytest.approx(
+            float(pm_md_variance(0.5, eps, d, optimal_k(eps, d)))
+        )
+
+    def test_sampling_hurts_less_than_splitting(self):
+        """Algorithm 4 with k=1 beats running PM per attribute at eps/d:
+        the variance advantage that motivates sampling (Section IV)."""
+        eps, d = 1.0, 10
+        sampled = pm_md_worst_variance(eps, d, 1)
+        # Splitting: each attribute gets eps/d; variance of a single
+        # attribute's estimate is Var_PM(eps/d) (no d/k inflation but a
+        # much smaller budget).
+        split = pm_worst_variance(eps / d)
+        assert sampled < split

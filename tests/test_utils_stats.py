@@ -1,0 +1,99 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    confidence_radius,
+    empirical_mse,
+    mean_and_sem,
+    running_mean,
+)
+
+
+class TestEmpiricalMse:
+    def test_zero_for_identical(self):
+        x = np.array([0.1, -0.2, 0.3])
+        assert empirical_mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert empirical_mse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            empirical_mse([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_mse([], [])
+
+
+class TestMeanAndSem:
+    def test_single_sample_sem_zero(self):
+        mean, sem = mean_and_sem([3.0])
+        assert mean == 3.0
+        assert sem == 0.0
+
+    def test_constant_samples(self):
+        mean, sem = mean_and_sem([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert sem == 0.0
+
+    def test_known_sem(self):
+        mean, sem = mean_and_sem([0.0, 2.0])
+        assert mean == 1.0
+        # std(ddof=1) = sqrt(2), sem = sqrt(2)/sqrt(2) = 1
+        assert sem == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_sem([])
+
+
+class TestConfidenceRadius:
+    def test_shrinks_with_n(self):
+        assert confidence_radius(1.0, 10_000) < confidence_radius(1.0, 100)
+
+    def test_grows_with_variance(self):
+        assert confidence_radius(4.0, 100) == pytest.approx(
+            2.0 * confidence_radius(1.0, 100)
+        )
+
+    def test_tighter_beta_wider_radius(self):
+        assert confidence_radius(1.0, 100, beta=0.01) > confidence_radius(
+            1.0, 100, beta=0.1
+        )
+
+    def test_exact_formula(self):
+        got = confidence_radius(2.0, 50, beta=0.05)
+        want = math.sqrt(2.0 * 2.0 * math.log(2.0 / 0.05) / 50)
+        assert got == pytest.approx(want)
+
+    @pytest.mark.parametrize("bad_n", [0, -5])
+    def test_bad_n_raises(self, bad_n):
+        with pytest.raises(ValueError):
+            confidence_radius(1.0, bad_n)
+
+    @pytest.mark.parametrize("bad_beta", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_beta_raises(self, bad_beta):
+        with pytest.raises(ValueError):
+            confidence_radius(1.0, 10, beta=bad_beta)
+
+    def test_negative_variance_raises(self):
+        with pytest.raises(ValueError):
+            confidence_radius(-1.0, 10)
+
+
+class TestRunningMean:
+    def test_values(self):
+        got = running_mean(np.array([1.0, 3.0, 5.0]))
+        assert np.allclose(got, [1.0, 2.0, 3.0])
+
+    def test_empty(self):
+        assert running_mean(np.array([])).size == 0
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            running_mean(np.ones((2, 2)))
