@@ -14,7 +14,7 @@ Run:  python examples/census_analytics.py
 
 import numpy as np
 
-from repro import MixedMultidimCollector, SplitCompositionBaseline, make_br_like
+from repro import Protocol, SplitCompositionBaseline, make_br_like
 
 EPSILON = 1.0
 N_USERS = 100_000
@@ -33,13 +33,14 @@ def main():
     truth_means = dataset.true_numeric_means()
     truth_freqs = dataset.true_categorical_frequencies()
 
-    # --- The proposed solution -----------------------------------------
-    collector = MixedMultidimCollector(
-        schema, EPSILON, numeric_mechanism="hm", oracle="oue"
+    # --- The proposed solution (client/server protocol API) -------------
+    protocol = Protocol.multidim(
+        EPSILON, schema=schema, mechanism="hm", oracle="oue"
     )
-    proposed = collector.collect(dataset, rng)
-    print(f"proposed collector samples k = {collector.k} attribute(s) "
-          f"per user at eps/k = {EPSILON / collector.k:g} each\n")
+    reports = protocol.client().encode_batch(dataset, rng)
+    proposed = protocol.server().absorb(reports).estimate()
+    print(f"proposed collector samples k = {protocol.k} attribute(s) "
+          f"per user at eps/k = {EPSILON / protocol.k:g} each\n")
 
     # --- The composition baseline ---------------------------------------
     baseline = SplitCompositionBaseline(

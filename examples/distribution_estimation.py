@@ -11,8 +11,9 @@ Run:  python examples/distribution_estimation.py
 
 import numpy as np
 
+from repro import Protocol
 from repro.data.synthetic import power_law_matrix
-from repro.frequency import LDPHistogram, true_histogram
+from repro.frequency import true_histogram
 
 EPSILON = 1.0
 N_USERS = 200_000
@@ -24,15 +25,17 @@ def main():
     # Heavy-tailed data (the paper's Fig. 6b power law).
     values = power_law_matrix(N_USERS, 1, rng=rng).ravel()
 
-    hist = LDPHistogram(EPSILON, bins=BINS, oracle="oue")
-    estimate = hist.collect(values, rng)
+    protocol = Protocol.histogram(EPSILON, bins=BINS, oracle="oue")
+    estimate = protocol.server().absorb(
+        protocol.client().encode_batch(values, rng)
+    ).estimate()
     truth = true_histogram(values, bins=BINS)
 
     print(f"{N_USERS} users, eps = {EPSILON}, {BINS} buckets over [-1, 1]\n")
     print(f"{'bucket':<16}{'true':>8}{'estimate':>10}")
     print("-" * 34)
     for i in range(BINS):
-        lo, hi = hist.edges[i], hist.edges[i + 1]
+        lo, hi = estimate.edges[i], estimate.edges[i + 1]
         bar = "#" * int(round(estimate.histogram[i] * 40))
         print(
             f"[{lo:+.2f},{hi:+.2f}) {truth[i]:>8.4f}"

@@ -4,17 +4,25 @@ Multidimensional Data with Local Differential Privacy" (ICDE 2019).
 Public API highlights
 ---------------------
 
+The protocol API (canonical since v1.1) makes the client/server split
+explicit — clients encode, servers absorb and merge::
+
+    from repro import Protocol
+    protocol = Protocol.multidim(epsilon=4.0, d=10, mechanism="hm")
+    reports = protocol.client().encode_batch(tuples, rng=0)
+    means = protocol.server().absorb(reports).estimate()
+
 1-D numeric mechanisms (Section III)::
 
     from repro import PiecewiseMechanism, HybridMechanism
     pm = PiecewiseMechanism(epsilon=1.0)
     noisy = pm.privatize(values, rng=0)          # values in [-1, 1]
 
-Multidimensional collection (Section IV)::
+Multidimensional collection (Section IV; legacy one-shot shim)::
 
     from repro import MultidimNumericCollector, MixedMultidimCollector
     collector = MultidimNumericCollector(epsilon=4.0, d=10, mechanism="hm")
-    means = collector.collect(tuples, rng=0)
+    means = collector.collect(tuples, rng=0)     # deprecated shortcut
 
 LDP-SGD (Section V)::
 
@@ -67,6 +75,14 @@ from repro.multidim import (
     MultidimNumericCollector,
     SplitCompositionBaseline,
 )
+from repro.protocol import (
+    ClientEncoder,
+    Protocol,
+    ProtocolSpec,
+    ServerAccumulator,
+    available_primitives,
+    get_primitive,
+)
 from repro.sgd import (
     LDPSGDTrainer,
     LinearRegression,
@@ -76,10 +92,17 @@ from repro.sgd import (
     SupportVectorMachine,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # protocol (canonical client/server API)
+    "Protocol",
+    "ProtocolSpec",
+    "ClientEncoder",
+    "ServerAccumulator",
+    "available_primitives",
+    "get_primitive",
     # core
     "NumericMechanism",
     "available_mechanisms",

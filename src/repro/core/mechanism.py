@@ -20,6 +20,21 @@ import numpy as np
 from repro.core.validation import check_epsilon, check_unit_interval
 from repro.utils.rng import RngLike, ensure_rng
 
+#: Points in the dense [-1, 1] grid used by worst-case-variance searches.
+#: Odd and of the form 2^m + 1 so the grid contains -1, 0 and 1 exactly.
+VARIANCE_GRID_POINTS = 2049
+
+
+def variance_grid() -> np.ndarray:
+    """The dense symmetric grid over [-1, 1] for worst-case searches.
+
+    Used as the fallback wherever a closed-form maximizer is unknown:
+    mechanism variances need not be monotone in |t| (e.g. mixtures with
+    suboptimal weights), so endpoint evaluation alone can silently
+    under-report the worst case.
+    """
+    return np.linspace(-1.0, 1.0, VARIANCE_GRID_POINTS)
+
 
 class NumericMechanism(abc.ABC):
     """Base class for one-dimensional numeric ε-LDP mechanisms.
@@ -60,11 +75,14 @@ class NumericMechanism(abc.ABC):
     def worst_case_variance(self) -> float:
         """max over t in [-1, 1] of :meth:`variance`.
 
-        Default implementation evaluates the endpoints and 0, which is
-        exact for every mechanism in this package (their variances are
-        monotone in |t|); subclasses may override with a closed form.
+        Default implementation evaluates a dense grid over [-1, 1]
+        (which always contains the points -1, 0 and 1).  Every built-in
+        mechanism's variance is monotone in |t|, making the endpoints
+        sufficient — but the base class must not assume that, since
+        mixtures and ablation mechanisms can peak at interior points.
+        Subclasses override with closed forms where available.
         """
-        candidates = self.variance(np.array([-1.0, 0.0, 1.0]))
+        candidates = self.variance(variance_grid())
         return float(np.max(candidates))
 
     def output_range(self) -> Tuple[float, float]:
@@ -79,6 +97,11 @@ class NumericMechanism(abc.ABC):
 
         All mechanisms here are unbiased (E[t*] = t), so the aggregator's
         estimator is simply the average of the reports.
+
+        For sharded or streaming aggregation prefer the mergeable
+        protocol-layer equivalent,
+        :class:`repro.protocol.accumulators.MeanAccumulator` (obtained
+        via ``repro.protocol.Protocol.numeric_mean(...)``).
         """
         arr = np.asarray(reports, dtype=float)
         if arr.size == 0:

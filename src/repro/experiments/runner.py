@@ -22,8 +22,8 @@ import numpy as np
 from repro.core.duchi import DuchiMultidimMechanism
 from repro.core.mechanism import get_mechanism
 from repro.data.schema import Dataset
-from repro.multidim.collector import MixedMultidimCollector, MultidimNumericCollector
 from repro.multidim.splitting import SplitCompositionBaseline
+from repro.protocol import Protocol
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.stats import empirical_mse
 
@@ -58,7 +58,7 @@ def numeric_matrix_mse(
     d = matrix.shape[1]
     truth = matrix.mean(axis=0)
     if method in ("pm", "hm"):
-        estimates = MultidimNumericCollector(epsilon, d, method).collect(
+        estimates = Protocol.multidim(epsilon, d=d, mechanism=method).run(
             matrix, gen
         )
     elif method == "duchi":
@@ -112,10 +112,9 @@ def mixed_dataset_mse(
     if truth_freqs is None:
         truth_freqs = dataset.true_categorical_frequencies()
     if method in ("pm", "hm"):
-        collector = MixedMultidimCollector(
-            dataset.schema, epsilon, numeric_mechanism=method
-        )
-        estimates = collector.collect(dataset, gen)
+        estimates = Protocol.multidim(
+            epsilon, schema=dataset.schema, mechanism=method
+        ).run(dataset, gen)
     elif method in ("laplace", "scdf", "staircase", "duchi"):
         baseline = SplitCompositionBaseline(
             dataset.schema, epsilon, numeric_method=method

@@ -14,6 +14,8 @@ post-processes the estimate into a valid histogram:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.validation import check_epsilon, check_unit_interval
@@ -72,15 +74,19 @@ class LDPHistogram:
 
     # ------------------------------------------------------------------
     def estimate(self, reports) -> "HistogramEstimate":
-        """Aggregator side: debiased, projected histogram estimate."""
-        from repro.frequency.postprocess import postprocess as run_postprocess
+        """Aggregator side: debiased, projected histogram estimate.
 
-        raw = self.oracle.estimate_frequencies(reports)
-        projected = run_postprocess(raw, self.postprocess)
-        if self.postprocess == "none":
-            projected = self._project(raw)
-        return HistogramEstimate(histogram=projected, raw=raw,
-                                 edges=self.edges)
+        Thin wrapper over the mergeable protocol-layer state; see
+        :class:`repro.protocol.accumulators.HistogramAccumulator` for
+        the sharded / streaming version.
+        """
+        from repro.protocol.accumulators import HistogramAccumulator
+
+        return (
+            HistogramAccumulator(self.oracle, self.edges, self.postprocess)
+            .absorb(reports)
+            .estimate()
+        )
 
     @staticmethod
     def _project(raw: np.ndarray) -> np.ndarray:
@@ -94,7 +100,21 @@ class LDPHistogram:
         return clipped / total
 
     def collect(self, values, rng: RngLike = None) -> "HistogramEstimate":
-        """privatize + estimate in one call."""
+        """privatize + estimate in one call.
+
+        .. deprecated:: 1.1
+            Monolithic client+server shortcut.  Use
+            ``repro.protocol.Protocol.histogram(epsilon, bins=...)``
+            with ``client().encode_batch`` and
+            ``server().absorb(...).estimate()`` instead.
+        """
+        warnings.warn(
+            "LDPHistogram.collect() is deprecated; use "
+            "repro.protocol.Protocol.histogram(...) (client/server API) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.estimate(self.privatize(values, rng))
 
 

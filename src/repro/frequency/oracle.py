@@ -68,7 +68,13 @@ class FrequencyOracle(abc.ABC):
         return (counts - n_reports * q) / (p - q)
 
     def estimate_frequencies(self, reports) -> np.ndarray:
-        """Unbiased frequency estimates over the reporting users."""
+        """Unbiased frequency estimates over the reporting users.
+
+        For sharded or streaming aggregation prefer the mergeable
+        protocol-layer equivalent,
+        :class:`repro.protocol.accumulators.FrequencyAccumulator`
+        (obtained via ``repro.protocol.Protocol.frequency(...)``).
+        """
         n_reports = self._n_reports(reports)
         if n_reports == 0:
             raise ValueError("cannot estimate frequencies from zero reports")

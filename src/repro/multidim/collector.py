@@ -17,8 +17,9 @@ Two collectors are provided:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +47,31 @@ def sample_attribute_matrix(
         raise ValueError(f"n must be positive, got {n}")
     gen = ensure_rng(rng)
     return np.argsort(gen.random((n, d)), axis=1)[:, :k]
+
+
+def sample_and_perturb(
+    mechanism: NumericMechanism,
+    tuples,
+    d: int,
+    k: int,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm 4's vectorized client-side hot path.
+
+    Samples k of d attributes per user and perturbs the sampled entries
+    with ``mechanism`` in one vectorized call.  Returns ``(sampled,
+    noisy)``: the (n, k) index matrix and the matching (n, k) perturbed
+    (unscaled) values.  Shared by the legacy dense ``privatize`` and the
+    protocol layer's compact encoder so both consume the rng stream
+    identically.
+    """
+    gen = ensure_rng(rng)
+    t = check_matrix(tuples, d)
+    n = t.shape[0]
+    sampled = sample_attribute_matrix(n, d, k, gen)
+    rows = np.repeat(np.arange(n), k)
+    noisy = mechanism.privatize(t[rows, sampled.ravel()], gen)
+    return sampled, noisy.reshape(n, k)
 
 
 class MultidimNumericCollector:
@@ -92,15 +118,14 @@ class MultidimNumericCollector:
         Returns the (n, d) matrix of submissions: entry (i, j) is
         (d/k) * x_ij for sampled attributes and 0 otherwise.
         """
-        gen = ensure_rng(rng)
-        t = check_matrix(tuples, self.d)
-        n = t.shape[0]
-        sampled = sample_attribute_matrix(n, self.d, self.k, gen)
-        rows = np.repeat(np.arange(n), self.k)
-        cols = sampled.ravel()
-        noisy = self.mechanism.privatize(t[rows, cols], gen)
+        sampled, noisy = sample_and_perturb(
+            self.mechanism, tuples, self.d, self.k, rng
+        )
+        n = sampled.shape[0]
         out = np.zeros((n, self.d))
-        out[rows, cols] = (self.d / self.k) * noisy
+        out[np.repeat(np.arange(n), self.k), sampled.ravel()] = (
+            (self.d / self.k) * noisy
+        ).ravel()
         return out
 
     def estimate_means(self, reports) -> np.ndarray:
@@ -113,8 +138,28 @@ class MultidimNumericCollector:
         return arr.mean(axis=0)
 
     def collect(self, tuples, rng: RngLike = None) -> np.ndarray:
-        """privatize + estimate_means in one call."""
-        return self.estimate_means(self.privatize(tuples, rng))
+        """privatize + estimate_means in one call.
+
+        .. deprecated:: 1.1
+            Monolithic client+server shortcut.  Use the protocol API
+            instead: ``repro.protocol.Protocol.multidim(epsilon, d=d,
+            mechanism=...)`` with ``client().encode_batch`` and
+            ``server().absorb(...).estimate()``.
+        """
+        warnings.warn(
+            "MultidimNumericCollector.collect() is deprecated; use "
+            "repro.protocol.Protocol.multidim(...) (client/server API) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.protocol.accumulators import MultidimMeanAccumulator
+
+        return (
+            MultidimMeanAccumulator(self.d)
+            .absorb(self.privatize(tuples, rng))
+            .estimate()
+        )
 
     # ------------------------------------------------------------------
     def per_coordinate_variance(self, t) -> np.ndarray:
@@ -130,10 +175,15 @@ class MultidimNumericCollector:
         return ratio * (self.mechanism.variance(t) + t**2) - t**2
 
     def worst_case_variance(self) -> float:
-        """Max of :meth:`per_coordinate_variance` over t in [-1, 1]."""
-        return float(
-            np.max(self.per_coordinate_variance(np.array([0.0, 1.0])))
-        )
+        """Max of :meth:`per_coordinate_variance` over t in [-1, 1].
+
+        Evaluated on a dense grid: the generic fallback branch inherits
+        the wrapped mechanism's variance shape, which need not be
+        monotone in |t| for ablation mechanisms.
+        """
+        from repro.core.mechanism import variance_grid
+
+        return float(np.max(self.per_coordinate_variance(variance_grid())))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -259,26 +309,32 @@ class MixedMultidimCollector:
 
     # ------------------------------------------------------------------
     def aggregate(self, reports: MixedReports) -> MixedEstimates:
-        """Unbiased means and frequency tables from the submissions."""
-        means = {
-            a.name: float(reports.numeric[:, i].mean())
-            for i, a in enumerate(self.schema.numeric)
-        }
-        scale = self.d / self.k
-        frequencies = {}
-        for a in self.schema.categorical:
-            oracle = self.oracles[a.name]
-            if a.name in reports.categorical:
-                debiased = oracle.debiased_counts(
-                    reports.categorical[a.name]
-                )
-            else:  # no user sampled this attribute (tiny n only)
-                debiased = np.zeros(a.cardinality)
-            frequencies[a.name] = scale * debiased / reports.n
-        return MixedEstimates(means=means, frequencies=frequencies)
+        """Unbiased means and frequency tables from the submissions.
+
+        Thin wrapper over the mergeable protocol-layer state; see
+        :class:`repro.protocol.accumulators.MixedAccumulator` for the
+        sharded / streaming version.
+        """
+        from repro.protocol.accumulators import MixedAccumulator
+
+        return MixedAccumulator.for_collector(self).absorb(reports).estimate()
 
     def collect(self, dataset: Dataset, rng: RngLike = None) -> MixedEstimates:
-        """privatize + aggregate in one call."""
+        """privatize + aggregate in one call.
+
+        .. deprecated:: 1.1
+            Monolithic client+server shortcut.  Use
+            ``repro.protocol.Protocol.multidim(epsilon, schema=schema)``
+            with ``client().encode_batch`` and
+            ``server().absorb(...).estimate()`` instead.
+        """
+        warnings.warn(
+            "MixedMultidimCollector.collect() is deprecated; use "
+            "repro.protocol.Protocol.multidim(..., schema=...) "
+            "(client/server API) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.aggregate(self.privatize(dataset, rng))
 
     # ------------------------------------------------------------------
@@ -294,10 +350,14 @@ class MixedMultidimCollector:
         return ratio * (self.numeric_mechanism.variance(t) + t**2) - t**2
 
     def worst_case_variance(self) -> float:
-        """Worst-case per-coordinate variance of a numeric mean report."""
-        return float(
-            np.max(self.per_coordinate_variance(np.array([0.0, 1.0])))
-        )
+        """Worst-case per-coordinate variance of a numeric mean report.
+
+        Dense-grid evaluation, for the same reason as
+        :meth:`MultidimNumericCollector.worst_case_variance`.
+        """
+        from repro.core.mechanism import variance_grid
+
+        return float(np.max(self.per_coordinate_variance(variance_grid())))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -5,6 +5,12 @@ over hours or days.  These aggregators consume report batches
 incrementally with O(d) state — no report is retained — and can produce
 the current unbiased estimate at any point.
 
+Since v1.1 they are thin aliases over the canonical mergeable server
+state in :mod:`repro.protocol.accumulators` (``absorb`` / ``merge`` /
+``estimate``), kept for backward compatibility under their original
+``update`` / ``estimates`` names.  New code should obtain accumulators
+from :meth:`repro.protocol.Protocol.server` instead.
+
 They compose with the same collectors as the batch path:
 
     collector = MixedMultidimCollector(schema, epsilon)
@@ -16,149 +22,81 @@ They compose with the same collectors as the batch path:
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from repro.multidim.aggregator import MixedEstimates
 from repro.multidim.collector import MixedMultidimCollector, MixedReports
+from repro.protocol.accumulators import (
+    FrequencyAccumulator,
+    MixedAccumulator,
+    MultidimMeanAccumulator,
+)
 
 
-class StreamingMeanAggregator:
+class StreamingMeanAggregator(MultidimMeanAccumulator):
     """Running unbiased mean of numeric reports (Algorithm 4 outputs).
 
-    State: per-attribute running sums and the user count.
+    Legacy alias of
+    :class:`repro.protocol.accumulators.MultidimMeanAccumulator`;
+    ``update``/``estimates`` are the original method names.
     """
-
-    def __init__(self, d: int):
-        if d < 1:
-            raise ValueError(f"d must be >= 1, got {d}")
-        self.d = int(d)
-        self._sums = np.zeros(self.d)
-        self._count = 0
 
     def update(self, reports) -> "StreamingMeanAggregator":
         """Fold in an (m, d) batch of perturbed submissions."""
-        arr = np.asarray(reports, dtype=float)
-        if arr.ndim == 1:
-            arr = arr.reshape(1, -1)
-        if arr.ndim != 2 or arr.shape[1] != self.d:
-            raise ValueError(
-                f"batch must be (m, {self.d}), got shape {arr.shape}"
-            )
-        self._sums += arr.sum(axis=0)
-        self._count += arr.shape[0]
+        self.absorb(reports)
         return self
-
-    @property
-    def count(self) -> int:
-        """Users folded in so far."""
-        return self._count
 
     def estimates(self) -> np.ndarray:
         """Current per-attribute mean estimates."""
-        if self._count == 0:
-            raise ValueError("no reports received yet")
-        return self._sums / self._count
-
-    def merge(self, other: "StreamingMeanAggregator") -> "StreamingMeanAggregator":
-        """Combine two partial aggregations (e.g. from parallel shards)."""
-        if other.d != self.d:
-            raise ValueError("cannot merge aggregators of different d")
-        self._sums += other._sums
-        self._count += other._count
-        return self
+        return self.estimate()
 
 
-class StreamingFrequencyAggregator:
+class StreamingFrequencyAggregator(FrequencyAccumulator):
     """Running debiased support counts for one categorical attribute.
 
-    Works with any registered oracle; stores only the oracle's support
-    counts (length k) plus the report count.
+    Legacy alias of
+    :class:`repro.protocol.accumulators.FrequencyAccumulator`;
+    ``update``/``estimates`` are the original method names.
     """
-
-    def __init__(self, oracle):
-        self.oracle = oracle
-        self._support = np.zeros(oracle.k)
-        self._count = 0
 
     def update(self, reports) -> "StreamingFrequencyAggregator":
         """Fold in a batch of oracle reports."""
-        self._support += self.oracle.support_counts(reports)
-        self._count += self.oracle._n_reports(reports)
+        self.absorb(reports)
         return self
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def debiased_counts(self) -> np.ndarray:
-        """Sum of unbiased per-report indicators, per value."""
-        p, q = self.oracle.support_probabilities
-        return (self._support - self._count * q) / (p - q)
 
     def estimates(self) -> np.ndarray:
         """Current frequency estimates over the reporting users."""
-        if self._count == 0:
-            raise ValueError("no reports received yet")
-        return self.debiased_counts() / self._count
-
-    def merge(
-        self, other: "StreamingFrequencyAggregator"
-    ) -> "StreamingFrequencyAggregator":
-        if other.oracle.k != self.oracle.k:
-            raise ValueError("cannot merge aggregators of different domains")
-        self._support += other._support
-        self._count += other._count
-        return self
+        return self.estimate()
 
 
-class StreamingMixedAggregator:
+class StreamingMixedAggregator(MixedAccumulator):
     """Incremental version of MixedMultidimCollector.aggregate().
 
-    Consumes MixedReports batches; produces the same MixedEstimates as
-    the one-shot path (same debiasing, same d/k scaling).
+    Legacy alias of
+    :class:`repro.protocol.accumulators.MixedAccumulator`, constructed
+    from a collector; consumes :class:`MixedReports` batches and
+    produces the same :class:`MixedEstimates` as the one-shot path.
     """
 
     def __init__(self, collector: MixedMultidimCollector):
-        self.collector = collector
-        self._numeric = StreamingMeanAggregator(
-            max(len(collector.schema.numeric), 1)
+        super().__init__(
+            schema=collector.schema,
+            oracles=collector.oracles,
+            d=collector.d,
+            k=collector.k,
         )
-        self._has_numeric = bool(collector.schema.numeric)
-        self._frequency: Dict[str, StreamingFrequencyAggregator] = {
-            a.name: StreamingFrequencyAggregator(collector.oracles[a.name])
-            for a in collector.schema.categorical
-        }
-        self._users = 0
+        self.collector = collector
 
     def update(self, reports: MixedReports) -> "StreamingMixedAggregator":
         """Fold in one privatized batch."""
-        if self._has_numeric:
-            self._numeric.update(reports.numeric)
-        for name, oracle_reports in reports.categorical.items():
-            self._frequency[name].update(oracle_reports)
-        self._users += reports.n
+        self.absorb(reports)
         return self
 
     @property
     def users(self) -> int:
-        return self._users
+        """Users folded in so far."""
+        return self.count
 
     def estimates(self) -> MixedEstimates:
         """Current unbiased estimates over all users seen so far."""
-        if self._users == 0:
-            raise ValueError("no reports received yet")
-        means = {}
-        if self._has_numeric:
-            values = self._numeric._sums / self._users
-            means = {
-                a.name: float(values[i])
-                for i, a in enumerate(self.collector.schema.numeric)
-            }
-        scale = self.collector.d / self.collector.k
-        frequencies = {
-            name: scale * agg.debiased_counts() / self._users
-            for name, agg in self._frequency.items()
-        }
-        return MixedEstimates(means=means, frequencies=frequencies)
+        return self.estimate()

@@ -1,0 +1,364 @@
+"""Server-side mergeable aggregation state.
+
+A :class:`ServerAccumulator` holds only *sufficient statistics* (sums,
+support counts, user counts — never a report), so its memory is O(state
+dimension) regardless of how many reports it absorbs, and two partial
+accumulations can be combined with :meth:`~ServerAccumulator.merge`.
+This is what makes sharded and streaming aggregation trivial:
+
+    acc = protocol.server()
+    for batch in arriving_batches:
+        acc.absorb(encoder.encode_batch(batch, rng))
+    estimate = acc.estimate()
+
+Determinism guarantee: counts (frequency protocols) are integral and
+therefore exact, so any absorb/merge order yields bitwise-identical
+estimates.  Float sums are folded batch-by-batch with plain addition,
+so absorbing batches b1..bm into one accumulator equals absorbing them
+into m accumulators and merging in the same order, *bitwise*; reordering
+shards is exact for counts and agrees to ~1e-15 relative for sums.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from repro.frequency.oracle import FrequencyOracle
+from repro.protocol.reports import SampledNumericReports
+
+# NOTE: repro.multidim is imported lazily (inside MixedAccumulator
+# methods) because repro.multidim.streaming subclasses the accumulators
+# defined here; a top-level import in either direction would cycle.
+
+
+class ServerAccumulator(abc.ABC):
+    """Mergeable aggregation state for one protocol.
+
+    The three-method contract:
+
+    * :meth:`absorb` folds a batch of client reports into the state;
+    * :meth:`merge` folds another accumulator of the same protocol in
+      (e.g. from a parallel shard);
+    * :meth:`estimate` produces the current unbiased estimate.
+
+    Both ``absorb`` and ``merge`` return ``self`` for chaining.
+    """
+
+    @abc.abstractmethod
+    def absorb(self, reports) -> "ServerAccumulator":
+        """Fold in one batch of reports; retains no report."""
+
+    @abc.abstractmethod
+    def merge(self, other: "ServerAccumulator") -> "ServerAccumulator":
+        """Fold another accumulator's state into this one."""
+
+    @abc.abstractmethod
+    def estimate(self):
+        """Current unbiased estimate; raises ``ValueError`` with no data."""
+
+    @property
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Reports absorbed so far (via absorb and merge)."""
+
+    def _require_reports(self):
+        if self.count == 0:
+            raise ValueError("no reports received yet")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(count={self.count})"
+
+
+class MeanAccumulator(ServerAccumulator):
+    """Scalar running mean of 1-D numeric reports.
+
+    Serves the ``mean`` protocol kind: every mechanism in
+    :mod:`repro.core` is unbiased, so the estimator is the plain average
+    of the perturbed reports (the legacy
+    :meth:`repro.core.mechanism.NumericMechanism.estimate_mean`).
+    """
+
+    def __init__(self):
+        self._sum = 0.0
+        self._count = 0
+
+    def absorb(self, reports) -> "MeanAccumulator":
+        arr = np.atleast_1d(np.asarray(reports, dtype=float))
+        if arr.ndim != 1:
+            raise ValueError(
+                f"mean reports must be a flat array, got shape {arr.shape}"
+            )
+        self._sum += float(arr.sum())
+        self._count += arr.shape[0]
+        return self
+
+    def merge(self, other: "MeanAccumulator") -> "MeanAccumulator":
+        if not isinstance(other, MeanAccumulator):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into MeanAccumulator"
+            )
+        self._sum += other._sum
+        self._count += other._count
+        return self
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def estimate(self) -> float:
+        self._require_reports()
+        return self._sum / self._count
+
+
+class MultidimMeanAccumulator(ServerAccumulator):
+    """Per-attribute running means over d-dimensional numeric reports.
+
+    Absorbs either the compact :class:`SampledNumericReports` wire
+    format or legacy dense (m, d) submission matrices; both paths keep
+    only the d running sums and the user count.
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self._sums = np.zeros(self.d)
+        self._count = 0
+
+    def absorb(self, reports) -> "MultidimMeanAccumulator":
+        if isinstance(reports, SampledNumericReports):
+            if reports.d != self.d:
+                raise ValueError(
+                    f"reports cover d={reports.d} attributes, "
+                    f"accumulator expects d={self.d}"
+                )
+            self._sums += np.bincount(
+                reports.cols.ravel(),
+                weights=reports.values.ravel(),
+                minlength=self.d,
+            )
+            self._count += reports.n
+            return self
+        arr = np.asarray(reports, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(
+                f"batch must be (m, {self.d}), got shape {arr.shape}"
+            )
+        self._sums += arr.sum(axis=0)
+        self._count += arr.shape[0]
+        return self
+
+    def merge(self, other: "MultidimMeanAccumulator") -> "MultidimMeanAccumulator":
+        if not isinstance(other, MultidimMeanAccumulator) or other.d != self.d:
+            raise ValueError("cannot merge aggregators of different d")
+        self._sums += other._sums
+        self._count += other._count
+        return self
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def estimate(self) -> np.ndarray:
+        self._require_reports()
+        return self._sums / self._count
+
+
+class FrequencyAccumulator(ServerAccumulator):
+    """Running debiased support counts for one categorical attribute.
+
+    Works with any registered oracle; the state is the oracle's length-k
+    support-count vector plus the report count.  Counts are integral, so
+    absorb/merge order never changes the estimate.
+    """
+
+    def __init__(self, oracle: FrequencyOracle):
+        self.oracle = oracle
+        self._support = np.zeros(oracle.k)
+        self._count = 0
+
+    def absorb(self, reports) -> "FrequencyAccumulator":
+        self._support += self.oracle.support_counts(reports)
+        self._count += self.oracle._n_reports(reports)
+        return self
+
+    def merge(self, other: "FrequencyAccumulator") -> "FrequencyAccumulator":
+        if not isinstance(other, FrequencyAccumulator):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into "
+                "FrequencyAccumulator"
+            )
+        if other.oracle.k != self.oracle.k:
+            raise ValueError("cannot merge aggregators of different domains")
+        if (
+            other.oracle.support_probabilities
+            != self.oracle.support_probabilities
+        ):
+            raise ValueError(
+                "cannot merge aggregators with different oracle "
+                "support probabilities"
+            )
+        self._support += other._support
+        self._count += other._count
+        return self
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def debiased_counts(self) -> np.ndarray:
+        """Sum of unbiased per-report indicators, per domain value."""
+        p, q = self.oracle.support_probabilities
+        return (self._support - self._count * q) / (p - q)
+
+    def estimate(self) -> np.ndarray:
+        self._require_reports()
+        return self.debiased_counts() / self._count
+
+
+class HistogramAccumulator(FrequencyAccumulator):
+    """Frequency accumulation over histogram buckets, with projection.
+
+    Same sufficient statistics as :class:`FrequencyAccumulator`;
+    :meth:`estimate` additionally post-processes the raw frequency
+    vector into a valid histogram over the given bin edges, exactly as
+    :meth:`repro.frequency.histogram.LDPHistogram.estimate` does.
+    """
+
+    def __init__(self, oracle: FrequencyOracle, edges, postprocess: str):
+        super().__init__(oracle)
+        self.edges = np.asarray(edges, dtype=float)
+        if self.edges.shape != (oracle.k + 1,):
+            raise ValueError(
+                f"edges must have length k+1={oracle.k + 1}, got "
+                f"{self.edges.shape}"
+            )
+        self.postprocess = postprocess
+
+    def merge(self, other: "FrequencyAccumulator") -> "HistogramAccumulator":
+        if not isinstance(other, HistogramAccumulator):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into "
+                "HistogramAccumulator"
+            )
+        if (
+            not np.array_equal(other.edges, self.edges)
+            or other.postprocess != self.postprocess
+        ):
+            raise ValueError(
+                "cannot merge histogram accumulators with different bin "
+                "edges or post-processing"
+            )
+        super().merge(other)
+        return self
+
+    def estimate(self):
+        from repro.frequency.histogram import HistogramEstimate, LDPHistogram
+        from repro.frequency.postprocess import postprocess as run_postprocess
+
+        self._require_reports()
+        raw = self.debiased_counts() / self._count
+        if self.postprocess == "none":
+            projected = LDPHistogram._project(raw)
+        else:
+            projected = run_postprocess(raw, self.postprocess)
+        return HistogramEstimate(
+            histogram=projected, raw=raw, edges=self.edges
+        )
+
+
+class MixedAccumulator(ServerAccumulator):
+    """Mergeable server state for the Section IV-C mixed protocol.
+
+    State: one running-sum vector over the numeric attributes, one
+    :class:`FrequencyAccumulator` per categorical attribute, and the
+    user count.  Produces the same :class:`MixedEstimates` as the
+    legacy one-shot ``MixedMultidimCollector.aggregate`` (same
+    debiasing, same d/k scaling).
+    """
+
+    def __init__(
+        self,
+        schema,
+        oracles: Dict[str, FrequencyOracle],
+        d: int,
+        k: int,
+    ):
+        self.schema = schema
+        self.d = int(d)
+        self.k = int(k)
+        self._numeric_sums = np.zeros(len(schema.numeric))
+        self._frequency: Dict[str, FrequencyAccumulator] = {
+            a.name: FrequencyAccumulator(oracles[a.name])
+            for a in schema.categorical
+        }
+        self._users = 0
+
+    @classmethod
+    def for_collector(cls, collector) -> "MixedAccumulator":
+        """The accumulator matching a ``MixedMultidimCollector``."""
+        return cls(
+            schema=collector.schema,
+            oracles=collector.oracles,
+            d=collector.d,
+            k=collector.k,
+        )
+
+    def absorb(self, reports) -> "MixedAccumulator":
+        numeric = np.asarray(reports.numeric, dtype=float)
+        if numeric.ndim != 2 or numeric.shape[1] != self._numeric_sums.shape[0]:
+            raise ValueError(
+                f"numeric block must be (m, {self._numeric_sums.shape[0]}), "
+                f"got shape {numeric.shape}"
+            )
+        self._numeric_sums += numeric.sum(axis=0)
+        for name, oracle_reports in reports.categorical.items():
+            if name not in self._frequency:
+                raise ValueError(
+                    f"reports carry categorical attribute {name!r} not in "
+                    f"this accumulator's schema "
+                    f"{[a.name for a in self.schema.categorical]}"
+                )
+            self._frequency[name].absorb(oracle_reports)
+        self._users += reports.n
+        return self
+
+    def merge(self, other: "MixedAccumulator") -> "MixedAccumulator":
+        if (
+            not isinstance(other, MixedAccumulator)
+            or other.schema.names != self.schema.names
+            or other.d != self.d
+            or other.k != self.k
+        ):
+            raise ValueError(
+                "cannot merge accumulators over different protocols"
+            )
+        self._numeric_sums += other._numeric_sums
+        for name, acc in self._frequency.items():
+            acc.merge(other._frequency[name])
+        self._users += other._users
+        return self
+
+    @property
+    def count(self) -> int:
+        return self._users
+
+    def estimate(self) -> "MixedEstimates":
+        from repro.multidim.aggregator import MixedEstimates
+
+        self._require_reports()
+        means = {
+            a.name: float(self._numeric_sums[i] / self._users)
+            for i, a in enumerate(self.schema.numeric)
+        }
+        scale = self.d / self.k
+        frequencies = {
+            name: scale * acc.debiased_counts() / self._users
+            for name, acc in self._frequency.items()
+        }
+        return MixedEstimates(means=means, frequencies=frequencies)

@@ -1,0 +1,164 @@
+"""Client-side encoders: stateless, vectorized report producers.
+
+A :class:`ClientEncoder` is the user-device half of a protocol: it maps
+a batch of true values to perturbed reports with one vectorized call —
+``encode_batch(values, rng) -> reports`` — and carries no per-report
+state, so any number of client shards can encode concurrently.  Each
+encoder is a thin adapter over an existing primitive
+(:class:`~repro.core.mechanism.NumericMechanism`,
+:class:`~repro.frequency.oracle.FrequencyOracle`, or the Section IV
+samplers), so one interface covers 1-D numeric, categorical, and
+d-dimensional mixed tuples.
+
+``new_accumulator()`` returns the matching
+:class:`~repro.protocol.accumulators.ServerAccumulator`, so an encoder
+fully determines its protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.mechanism import NumericMechanism
+from repro.frequency.histogram import LDPHistogram
+from repro.frequency.oracle import FrequencyOracle
+from repro.multidim.collector import (
+    MixedMultidimCollector,
+    MultidimNumericCollector,
+    sample_and_perturb,
+)
+from repro.protocol.accumulators import (
+    FrequencyAccumulator,
+    HistogramAccumulator,
+    MeanAccumulator,
+    MixedAccumulator,
+    MultidimMeanAccumulator,
+    ServerAccumulator,
+)
+from repro.protocol.reports import SampledNumericReports
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class ClientEncoder(abc.ABC):
+    """One user-side encoding step of an LDP protocol.
+
+    Implementations are stateless per report: encoding a batch touches
+    only the supplied ``rng``, so batches may be encoded in any order or
+    on any shard.
+    """
+
+    @abc.abstractmethod
+    def encode_batch(self, values, rng: RngLike = None):
+        """Perturb a batch of true values into transmit-ready reports."""
+
+    @abc.abstractmethod
+    def new_accumulator(self) -> ServerAccumulator:
+        """A fresh server accumulator matching this encoder."""
+
+    def __call__(self, values, rng: RngLike = None):
+        return self.encode_batch(values, rng)
+
+
+class NumericMeanEncoder(ClientEncoder):
+    """Adapter over any 1-D :class:`NumericMechanism` (mean protocol)."""
+
+    def __init__(self, mechanism: NumericMechanism):
+        self.mechanism = mechanism
+
+    def encode_batch(self, values, rng: RngLike = None) -> np.ndarray:
+        return np.atleast_1d(self.mechanism.privatize(values, rng))
+
+    def new_accumulator(self) -> MeanAccumulator:
+        return MeanAccumulator()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NumericMeanEncoder({self.mechanism!r})"
+
+
+class FrequencyEncoder(ClientEncoder):
+    """Adapter over any :class:`FrequencyOracle` (frequency protocol)."""
+
+    def __init__(self, oracle: FrequencyOracle):
+        self.oracle = oracle
+
+    def encode_batch(self, values, rng: RngLike = None):
+        return self.oracle.privatize(values, rng)
+
+    def new_accumulator(self) -> FrequencyAccumulator:
+        return FrequencyAccumulator(self.oracle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrequencyEncoder({self.oracle!r})"
+
+
+class HistogramEncoder(ClientEncoder):
+    """Bucketize-then-perturb encoder for distribution estimation."""
+
+    def __init__(self, histogram: LDPHistogram):
+        self.histogram = histogram
+
+    def encode_batch(self, values, rng: RngLike = None):
+        return self.histogram.privatize(values, rng)
+
+    def new_accumulator(self) -> HistogramAccumulator:
+        return HistogramAccumulator(
+            oracle=self.histogram.oracle,
+            edges=self.histogram.edges,
+            postprocess=self.histogram.postprocess,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HistogramEncoder(bins={self.histogram.bins}, "
+            f"oracle={self.histogram.oracle_name!r})"
+        )
+
+
+class MultidimNumericEncoder(ClientEncoder):
+    """Algorithm 4 client: sample k of d attributes, perturb, scale.
+
+    Emits the compact :class:`SampledNumericReports` wire format — the
+    k (index, value) pairs a real client would transmit — rather than
+    the legacy dense (n, d) matrix.  Consumes the rng stream in exactly
+    the same order as ``MultidimNumericCollector.privatize``, so
+    seed-matched runs agree with the legacy path.
+    """
+
+    def __init__(self, collector: MultidimNumericCollector):
+        self.collector = collector
+
+    def encode_batch(
+        self, tuples, rng: RngLike = None
+    ) -> SampledNumericReports:
+        c = self.collector
+        gen = ensure_rng(rng)
+        sampled, noisy = sample_and_perturb(
+            c.mechanism, tuples, c.d, c.k, gen
+        )
+        return SampledNumericReports(
+            d=c.d, k=c.k, cols=sampled, values=(c.d / c.k) * noisy
+        )
+
+    def new_accumulator(self) -> MultidimMeanAccumulator:
+        return MultidimMeanAccumulator(self.collector.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultidimNumericEncoder({self.collector!r})"
+
+
+class MixedEncoder(ClientEncoder):
+    """Section IV-C client for mixed numeric + categorical tuples."""
+
+    def __init__(self, collector: MixedMultidimCollector):
+        self.collector = collector
+
+    def encode_batch(self, dataset, rng: RngLike = None):
+        return self.collector.privatize(dataset, rng)
+
+    def new_accumulator(self) -> MixedAccumulator:
+        return MixedAccumulator.for_collector(self.collector)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MixedEncoder({self.collector!r})"

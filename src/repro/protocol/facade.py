@@ -1,0 +1,217 @@
+"""The `Protocol` façade — one entry point for every collection task.
+
+A :class:`Protocol` binds a :class:`~repro.protocol.spec.ProtocolSpec`
+to its client encoder and server accumulator factory:
+
+    from repro.protocol import Protocol
+
+    protocol = Protocol.multidim(epsilon=4.0, d=10, mechanism="hm")
+    client = protocol.client()              # runs on user devices
+    server = protocol.server()              # runs on (each) aggregator
+
+    server.absorb(client.encode_batch(tuples, rng=0))
+    means = server.estimate()
+
+Sharding is merging:
+
+    shard_a, shard_b = protocol.server(), protocol.server()
+    shard_a.absorb(client.encode_batch(tuples_a, rng=1))
+    shard_b.absorb(client.encode_batch(tuples_b, rng=2))
+    means = shard_a.merge(shard_b).estimate()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.frequency.histogram import LDPHistogram
+from repro.multidim.collector import (
+    MixedMultidimCollector,
+    MultidimNumericCollector,
+)
+from repro.protocol.accumulators import ServerAccumulator
+from repro.protocol.encoders import (
+    ClientEncoder,
+    FrequencyEncoder,
+    HistogramEncoder,
+    MixedEncoder,
+    MultidimNumericEncoder,
+    NumericMeanEncoder,
+)
+from repro.protocol.registry import get_primitive
+from repro.protocol.spec import ProtocolSpec
+from repro.utils.rng import RngLike
+
+
+def _build_encoder(spec: ProtocolSpec) -> ClientEncoder:
+    """Instantiate the client encoder a spec describes."""
+    if spec.kind == "mean":
+        return NumericMeanEncoder(
+            get_primitive(spec.mechanism, spec.epsilon, kind="numeric")
+        )
+    if spec.kind == "frequency":
+        return FrequencyEncoder(
+            get_primitive(
+                spec.oracle,
+                spec.epsilon,
+                domain=spec.domain,
+                kind="categorical",
+            )
+        )
+    if spec.kind == "histogram":
+        return HistogramEncoder(
+            LDPHistogram(
+                spec.epsilon,
+                bins=spec.bins,
+                oracle=spec.oracle,
+                postprocess=spec.postprocess,
+            )
+        )
+    if spec.kind == "multidim-numeric":
+        return MultidimNumericEncoder(
+            MultidimNumericCollector(
+                spec.epsilon, spec.d, mechanism=spec.mechanism, k=spec.k
+            )
+        )
+    if spec.kind == "multidim-mixed":
+        return MixedEncoder(
+            MixedMultidimCollector(
+                spec.schema,
+                spec.epsilon,
+                numeric_mechanism=spec.mechanism,
+                oracle=spec.oracle,
+                k=spec.k,
+            )
+        )
+    raise ValueError(f"unknown protocol kind {spec.kind!r}")
+
+
+class Protocol:
+    """A configured LDP protocol: spec + client encoder + server factory."""
+
+    def __init__(self, spec: ProtocolSpec):
+        self._spec = spec
+        self._encoder = _build_encoder(spec)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def numeric_mean(cls, epsilon: float, mechanism: str = "hm") -> "Protocol":
+        """Mean of one numeric attribute in [-1, 1] (Section III)."""
+        return cls(
+            ProtocolSpec(kind="mean", epsilon=epsilon, mechanism=mechanism)
+        )
+
+    @classmethod
+    def frequency(
+        cls, epsilon: float, domain: int, oracle: str = "oue"
+    ) -> "Protocol":
+        """Value frequencies of one categorical attribute."""
+        return cls(
+            ProtocolSpec(
+                kind="frequency", epsilon=epsilon, oracle=oracle, domain=domain
+            )
+        )
+
+    @classmethod
+    def histogram(
+        cls,
+        epsilon: float,
+        bins: int = 16,
+        oracle: str = "oue",
+        postprocess: str = "norm-sub",
+    ) -> "Protocol":
+        """Distribution of one numeric attribute over equal-width bins."""
+        return cls(
+            ProtocolSpec(
+                kind="histogram",
+                epsilon=epsilon,
+                oracle=oracle,
+                bins=bins,
+                postprocess=postprocess,
+            )
+        )
+
+    @classmethod
+    def multidim(
+        cls,
+        epsilon: float,
+        d: Optional[int] = None,
+        schema=None,
+        mechanism: str = "hm",
+        oracle: str = "oue",
+        k: Optional[int] = None,
+    ) -> "Protocol":
+        """d-dimensional collection (Section IV).
+
+        Pass ``d`` for all-numeric tuples (Algorithm 4) or ``schema``
+        for mixed numeric + categorical tuples (Section IV-C).
+        """
+        if (d is None) == (schema is None):
+            raise ValueError("pass exactly one of d= or schema=")
+        if schema is None:
+            return cls(
+                ProtocolSpec(
+                    kind="multidim-numeric",
+                    epsilon=epsilon,
+                    mechanism=mechanism,
+                    d=d,
+                    k=k,
+                )
+            )
+        return cls(
+            ProtocolSpec(
+                kind="multidim-mixed",
+                epsilon=epsilon,
+                mechanism=mechanism,
+                oracle=oracle,
+                schema=schema,
+                k=k,
+            )
+        )
+
+    @classmethod
+    def from_spec(
+        cls, spec: Union[ProtocolSpec, Dict[str, Any]]
+    ) -> "Protocol":
+        """Build from a :class:`ProtocolSpec` or its ``to_dict`` payload."""
+        if isinstance(spec, dict):
+            spec = ProtocolSpec.from_dict(spec)
+        return cls(spec)
+
+    # ------------------------------------------------------------------
+    # The two protocol halves
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ProtocolSpec:
+        """The serializable configuration this protocol was built from."""
+        return self._spec
+
+    @property
+    def k(self) -> Optional[int]:
+        """The resolved per-user sampling parameter for multidim kinds.
+
+        Useful when k was derived from Eq. 12 rather than overridden in
+        the spec; ``None`` for non-multidim protocol kinds.
+        """
+        collector = getattr(self._encoder, "collector", None)
+        return getattr(collector, "k", None)
+
+    def client(self) -> ClientEncoder:
+        """The (stateless) client-side encoder."""
+        return self._encoder
+
+    def server(self) -> ServerAccumulator:
+        """A fresh, empty server accumulator for this protocol."""
+        return self._encoder.new_accumulator()
+
+    # ------------------------------------------------------------------
+    def run(self, values, rng: RngLike = None):
+        """Encode one batch and estimate — the one-machine convenience."""
+        return (
+            self.server().absorb(self._encoder.encode_batch(values, rng))
+        ).estimate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Protocol({self._spec!r})"

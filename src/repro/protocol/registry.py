@@ -1,0 +1,101 @@
+"""One registry across both primitive families.
+
+The seed exposed two disjoint lookups — :func:`repro.core.get_mechanism`
+for numeric mechanisms and :func:`repro.frequency.get_oracle` for
+categorical oracles — forcing callers to know which family a name
+belongs to.  The protocol layer resolves any registered primitive name
+through a single entry point, and :class:`repro.protocol.spec.ProtocolSpec`
+configs can therefore name primitives uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.mechanism import (
+    NumericMechanism,
+    available_mechanisms,
+    get_mechanism,
+)
+from repro.frequency.oracle import (
+    FrequencyOracle,
+    available_oracles,
+    get_oracle,
+)
+
+#: The two primitive families the unified registry spans.
+PRIMITIVE_KINDS = ("numeric", "categorical")
+
+Primitive = Union[NumericMechanism, FrequencyOracle]
+
+
+def available_primitives() -> Dict[str, Tuple[str, ...]]:
+    """All registered primitive names, grouped by family."""
+    return {
+        "numeric": available_mechanisms(),
+        "categorical": available_oracles(),
+    }
+
+
+def primitive_kind(name: str) -> str:
+    """Which family a primitive name belongs to.
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` should a
+    name ever be registered in both families (resolve those explicitly
+    via :func:`get_primitive`'s ``kind`` argument).
+    """
+    in_numeric = name in available_mechanisms()
+    in_categorical = name in available_oracles()
+    if in_numeric and in_categorical:
+        raise ValueError(
+            f"primitive name {name!r} is registered as both a numeric "
+            "mechanism and a frequency oracle; pass kind= explicitly"
+        )
+    if in_numeric:
+        return "numeric"
+    if in_categorical:
+        return "categorical"
+    raise KeyError(
+        f"unknown primitive {name!r}; available: {available_primitives()}"
+    )
+
+
+def get_primitive(
+    name: str,
+    epsilon: float,
+    domain: Optional[int] = None,
+    kind: Optional[str] = None,
+    **kwargs,
+) -> Primitive:
+    """Instantiate any registered primitive by name.
+
+    Parameters
+    ----------
+    name:
+        A registered numeric-mechanism or frequency-oracle name.
+    epsilon:
+        Privacy budget handed to the primitive.
+    domain:
+        Domain cardinality; required for (and only for) categorical
+        primitives.
+    kind:
+        Optional family override ("numeric" / "categorical"); only needed
+        if a name were registered in both families.
+    """
+    if kind is None:
+        kind = primitive_kind(name)
+    if kind not in PRIMITIVE_KINDS:
+        raise ValueError(
+            f"kind must be one of {PRIMITIVE_KINDS}, got {kind!r}"
+        )
+    if kind == "numeric":
+        if domain is not None:
+            raise ValueError(
+                f"numeric primitive {name!r} takes no domain cardinality"
+            )
+        return get_mechanism(name, epsilon, **kwargs)
+    if domain is None:
+        raise ValueError(
+            f"categorical primitive {name!r} requires a domain cardinality"
+        )
+    return get_oracle(name, epsilon, domain, **kwargs)

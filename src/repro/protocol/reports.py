@@ -1,0 +1,95 @@
+"""Report containers exchanged between protocol clients and servers.
+
+A *report* is exactly what one user transmits; the server never needs
+anything else.  Most protocol kinds reuse library-native report types
+(perturbed-value arrays for 1-D numeric, bit matrices / ``OLHReports``
+for frequency oracles, :class:`repro.multidim.collector.MixedReports`
+for mixed tuples).  This module adds the compact wire format for
+Algorithm 4:
+
+:class:`SampledNumericReports` stores, per user, only the k sampled
+attribute indices and the k scaled perturbed values — O(n k) memory
+instead of the legacy dense (n, d) matrix whose entries are mostly
+zeros.  ``to_dense()`` recovers the legacy layout when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class SampledNumericReports:
+    """Algorithm 4 submissions in compact (indices, values) form.
+
+    Attributes
+    ----------
+    d:
+        Total number of attributes in the sampling universe.
+    k:
+        Attributes sampled (and reported) per user.
+    cols:
+        (n, k) integer matrix; row i holds user i's sampled attribute
+        indices (distinct, in [0, d)).
+    values:
+        (n, k) float matrix; entry (i, j) is the user's perturbed value
+        for attribute ``cols[i, j]``, already scaled by d/k so that the
+        server-side estimator is a plain average.
+    """
+
+    d: int
+    k: int
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.cols.ndim != 2 or self.cols.shape != self.values.shape:
+            raise ValueError(
+                f"cols and values must be matching (n, k) matrices, got "
+                f"{self.cols.shape} and {self.values.shape}"
+            )
+        if self.cols.shape[1] != self.k:
+            raise ValueError(
+                f"expected k={self.k} sampled attributes per row, got "
+                f"{self.cols.shape[1]}"
+            )
+        if self.cols.size and (
+            self.cols.min() < 0 or self.cols.max() >= self.d
+        ):
+            raise ValueError(
+                f"sampled indices must lie in [0, {self.d - 1}]"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of reporting users."""
+        return int(self.cols.shape[0])
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """The legacy (n, d) submission matrix (zeros at unsampled entries)."""
+        out = np.zeros((self.n, self.d))
+        rows = np.repeat(np.arange(self.n), self.k)
+        out[rows, self.cols.ravel()] = self.values.ravel()
+        return out
+
+    def split(self, sections: int) -> List["SampledNumericReports"]:
+        """Split the users into ``sections`` contiguous shards."""
+        if sections < 1:
+            raise ValueError(f"sections must be >= 1, got {sections}")
+        parts = zip(
+            np.array_split(self.cols, sections),
+            np.array_split(self.values, sections),
+        )
+        return [
+            SampledNumericReports(d=self.d, k=self.k, cols=c, values=v)
+            for c, v in parts
+        ]

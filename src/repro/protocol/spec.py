@@ -1,0 +1,152 @@
+"""Typed protocol configuration with dict round-tripping.
+
+A :class:`ProtocolSpec` pins down everything needed to rebuild a
+protocol — kind, budget, primitive names, dimensions — so deployments
+can store configs as JSON and rebuild byte-identical client/server
+pairs with ``Protocol.from_spec(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.core.validation import check_epsilon
+from repro.data.schema import (
+    CategoricalAttribute,
+    NumericAttribute,
+    Schema,
+)
+
+#: Protocol kinds understood by the facade.
+PROTOCOL_KINDS = (
+    "mean",
+    "frequency",
+    "histogram",
+    "multidim-numeric",
+    "multidim-mixed",
+)
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """JSON-friendly encoding of a :class:`Schema`."""
+    attributes = []
+    for a in schema.attributes:
+        if a.is_numeric:
+            attributes.append(
+                {
+                    "name": a.name,
+                    "type": "numeric",
+                    "low": a.low,
+                    "high": a.high,
+                }
+            )
+        else:
+            attributes.append(
+                {
+                    "name": a.name,
+                    "type": "categorical",
+                    "cardinality": a.cardinality,
+                }
+            )
+    return {"attributes": attributes}
+
+
+def schema_from_dict(payload: Dict[str, Any]) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    attributes = []
+    for spec in payload["attributes"]:
+        kind = spec.get("type")
+        if kind == "numeric":
+            attributes.append(
+                NumericAttribute(
+                    name=spec["name"],
+                    low=float(spec.get("low", -1.0)),
+                    high=float(spec.get("high", 1.0)),
+                )
+            )
+        elif kind == "categorical":
+            attributes.append(
+                CategoricalAttribute(
+                    name=spec["name"], cardinality=int(spec["cardinality"])
+                )
+            )
+        else:
+            raise ValueError(
+                f"attribute type must be 'numeric' or 'categorical', "
+                f"got {kind!r}"
+            )
+    return Schema(attributes)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Complete, serializable description of one protocol.
+
+    Which fields apply depends on ``kind``:
+
+    =================  ==================================================
+    kind               required / optional fields
+    =================  ==================================================
+    mean               mechanism
+    frequency          oracle, domain
+    histogram          oracle, bins, postprocess
+    multidim-numeric   mechanism, d, k (optional override of Eq. 12)
+    multidim-mixed     mechanism, oracle, schema, k (optional)
+    =================  ==================================================
+    """
+
+    kind: str
+    epsilon: float
+    mechanism: Optional[str] = None
+    oracle: Optional[str] = None
+    d: Optional[int] = None
+    k: Optional[int] = None
+    domain: Optional[int] = None
+    bins: Optional[int] = None
+    postprocess: Optional[str] = None
+    schema: Optional[Schema] = None
+
+    def __post_init__(self):
+        if self.kind not in PROTOCOL_KINDS:
+            raise ValueError(
+                f"kind must be one of {PROTOCOL_KINDS}, got {self.kind!r}"
+            )
+        check_epsilon(self.epsilon)
+        requirements = {
+            "mean": ("mechanism",),
+            "frequency": ("oracle", "domain"),
+            "histogram": ("oracle", "bins", "postprocess"),
+            "multidim-numeric": ("mechanism", "d"),
+            "multidim-mixed": ("mechanism", "oracle", "schema"),
+        }
+        for field_name in requirements[self.kind]:
+            if getattr(self, field_name) is None:
+                raise ValueError(
+                    f"{self.kind!r} protocol requires {field_name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly encoding; ``from_dict`` round-trips exactly."""
+        payload: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            payload[f.name] = (
+                schema_to_dict(value) if f.name == "schema" else value
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProtocolSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "schema" in data and not isinstance(data["schema"], Schema):
+            data["schema"] = schema_from_dict(data["schema"])
+        return cls(**data)

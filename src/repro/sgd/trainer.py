@@ -29,6 +29,8 @@ from repro.core.duchi import DuchiMultidimMechanism
 from repro.core.mechanism import get_mechanism
 from repro.core.validation import check_epsilon
 from repro.multidim.collector import MultidimNumericCollector
+from repro.protocol.accumulators import MultidimMeanAccumulator
+from repro.protocol.encoders import MultidimNumericEncoder
 from repro.sgd.losses import Loss, get_loss
 from repro.sgd.schedules import Schedule, inverse_sqrt
 from repro.utils.rng import RngLike, ensure_rng
@@ -166,6 +168,13 @@ class NonPrivateSGDTrainer(BaseSGDTrainer):
 class LDPSGDTrainer(BaseSGDTrainer):
     """SGD where each iteration's gradients are collected under eps-LDP.
 
+    The per-iteration gradient collection is itself a client/server
+    protocol: the "pm"/"hm" methods run through the protocol layer
+    (:class:`repro.protocol.encoders.MultidimNumericEncoder` on the
+    client side, :class:`repro.protocol.accumulators.MultidimMeanAccumulator`
+    on the server side), so gradient reports travel in the compact
+    sampled wire format rather than dense d-vectors.
+
     Parameters
     ----------
     loss:
@@ -213,7 +222,9 @@ class LDPSGDTrainer(BaseSGDTrainer):
 
     def _build_perturber(self, p: int):
         if self.method in ("pm", "hm"):
-            return MultidimNumericCollector(self.epsilon, p, self.method)
+            return MultidimNumericEncoder(
+                MultidimNumericCollector(self.epsilon, p, self.method)
+            )
         if self.method == "duchi":
             return DuchiMultidimMechanism(self.epsilon, p)
         return get_mechanism("laplace", self.epsilon / p)
@@ -227,8 +238,12 @@ class LDPSGDTrainer(BaseSGDTrainer):
         if self._collector is None:
             self._collector = self._build_perturber(p)
         if self.method in ("pm", "hm"):
-            noisy = self._collector.privatize(clipped, gen)
-        elif self.method == "duchi":
+            reports = self._collector.encode_batch(clipped, gen)
+            noisy_mean = (
+                MultidimMeanAccumulator(p).absorb(reports).estimate()
+            )
+            return self.clip_bound * noisy_mean
+        if self.method == "duchi":
             noisy = self._collector.privatize(clipped, gen)
         else:  # per-coordinate Laplace at eps/p
             noisy = self._collector.privatize(clipped.ravel(), gen).reshape(

@@ -40,6 +40,15 @@ class TestExamplesRun:
         assert "eps* = 0.6094" in out
         assert "Fig. 1" in out or "Worst-case" in out
 
+    def test_protocol_quickstart(self, capsys, monkeypatch):
+        module = _load("protocol_quickstart")
+        monkeypatch.setattr(module, "N_USERS", 9_000)
+        module.main()
+        out = capsys.readouterr().out
+        assert "numeric mean over 3 shards" in out
+        assert "spec round-trip through JSON" in out
+        assert "encode_batch -> absorb/merge" in out
+
     def test_census_analytics(self, capsys, monkeypatch):
         module = _load("census_analytics")
         monkeypatch.setattr(module, "N_USERS", 8_000)
@@ -113,6 +122,7 @@ class TestExamplesRun:
         scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
         tested = {
             "quickstart",
+            "protocol_quickstart",
             "mechanism_tour",
             "census_analytics",
             "private_sgd",

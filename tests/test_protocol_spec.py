@@ -1,0 +1,161 @@
+"""Tests for ProtocolSpec, the unified registry and spec round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.mechanism import NumericMechanism
+from repro.data.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.frequency.oracle import FrequencyOracle
+from repro.protocol import (
+    Protocol,
+    ProtocolSpec,
+    available_primitives,
+    get_primitive,
+    primitive_kind,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+def _schema():
+    return Schema(
+        [
+            NumericAttribute("income", low=0.0, high=100_000.0),
+            CategoricalAttribute("region", 5),
+            NumericAttribute("age", low=18.0, high=90.0),
+        ]
+    )
+
+
+class TestRegistry:
+    def test_available_covers_both_families(self):
+        prims = available_primitives()
+        assert "pm" in prims["numeric"]
+        assert "hm" in prims["numeric"]
+        assert "oue" in prims["categorical"]
+        assert "grr" in prims["categorical"]
+
+    def test_kind_resolution(self):
+        assert primitive_kind("pm") == "numeric"
+        assert primitive_kind("oue") == "categorical"
+        with pytest.raises(KeyError):
+            primitive_kind("nope")
+
+    def test_numeric_instantiation(self):
+        mech = get_primitive("pm", 1.0)
+        assert isinstance(mech, NumericMechanism)
+        assert mech.epsilon == 1.0
+
+    def test_categorical_instantiation(self):
+        oracle = get_primitive("oue", 1.0, domain=8)
+        assert isinstance(oracle, FrequencyOracle)
+        assert oracle.k == 8
+
+    def test_numeric_rejects_domain(self):
+        with pytest.raises(ValueError):
+            get_primitive("pm", 1.0, domain=8)
+
+    def test_categorical_requires_domain(self):
+        with pytest.raises(ValueError):
+            get_primitive("oue", 1.0)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            get_primitive("pm", 1.0, kind="weird")
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self):
+        schema = _schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_json_round_trip(self):
+        schema = _schema()
+        payload = json.loads(json.dumps(schema_to_dict(schema)))
+        assert schema_from_dict(payload) == schema
+
+    def test_bad_attribute_type(self):
+        with pytest.raises(ValueError):
+            schema_from_dict({"attributes": [{"name": "x", "type": "blob"}]})
+
+
+class TestProtocolSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec(kind="marginal", epsilon=1.0)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec(kind="mean", epsilon=-1.0, mechanism="pm")
+
+    @pytest.mark.parametrize(
+        "kind, missing",
+        [
+            ("mean", {}),
+            ("frequency", {"oracle": "oue"}),
+            ("multidim-numeric", {"mechanism": "hm"}),
+            ("multidim-mixed", {"mechanism": "hm", "oracle": "oue"}),
+        ],
+    )
+    def test_required_fields_enforced(self, kind, missing):
+        with pytest.raises(ValueError):
+            ProtocolSpec(kind=kind, epsilon=1.0, **missing)
+
+    def test_to_dict_drops_none_fields(self):
+        spec = ProtocolSpec(kind="mean", epsilon=1.0, mechanism="pm")
+        assert spec.to_dict() == {
+            "kind": "mean",
+            "epsilon": 1.0,
+            "mechanism": "pm",
+        }
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec.from_dict(
+                {"kind": "mean", "epsilon": 1.0, "mechanism": "pm", "x": 1}
+            )
+
+
+class TestFacadeSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Protocol.numeric_mean(1.5, "pm"),
+            lambda: Protocol.frequency(0.8, domain=6, oracle="grr"),
+            lambda: Protocol.histogram(2.0, bins=8, oracle="oue"),
+            lambda: Protocol.multidim(4.0, d=10, mechanism="hm"),
+            lambda: Protocol.multidim(4.0, d=10, mechanism="pm", k=2),
+            lambda: Protocol.multidim(2.0, schema=_schema(), mechanism="pm"),
+        ],
+    )
+    def test_round_trip(self, factory):
+        spec = factory().spec
+        rebuilt = Protocol.from_spec(spec.to_dict())
+        assert rebuilt.spec == spec
+
+    def test_from_spec_accepts_spec_instance(self):
+        spec = Protocol.numeric_mean(1.0).spec
+        assert Protocol.from_spec(spec).spec == spec
+
+    def test_json_round_trip_mixed(self):
+        spec = Protocol.multidim(2.0, schema=_schema()).spec
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert Protocol.from_spec(payload).spec == spec
+
+    def test_multidim_requires_exactly_one_shape(self):
+        with pytest.raises(ValueError):
+            Protocol.multidim(1.0)
+        with pytest.raises(ValueError):
+            Protocol.multidim(1.0, d=3, schema=_schema())
+
+    def test_rebuilt_protocol_behaves_identically(self, rng):
+        import numpy as np
+
+        spec = Protocol.multidim(4.0, d=6, mechanism="hm").spec
+        a = Protocol.from_spec(spec.to_dict())
+        b = Protocol.from_spec(spec.to_dict())
+        t = rng.uniform(-1, 1, (2_000, 6))
+        est_a = a.run(t, np.random.default_rng(13))
+        est_b = b.run(t, np.random.default_rng(13))
+        assert np.array_equal(est_a, est_b)

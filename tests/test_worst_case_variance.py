@@ -1,0 +1,81 @@
+"""Regression tests for the dense-grid worst-case variance fallback.
+
+The base-class default used to evaluate variance only at t in {-1, 0, 1},
+which silently under-reports the worst case for any mechanism whose
+variance peaks at an interior point.  The fallback now scans a dense
+grid; these tests pin both the fix and its agreement with every closed
+form in the package.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import (
+    NumericMechanism,
+    available_mechanisms,
+    get_mechanism,
+    variance_grid,
+)
+from repro.multidim import MultidimNumericCollector
+
+
+class _InteriorPeakMechanism(NumericMechanism):
+    """Variance 1 at t in {-1, 0, 1} but 2 at |t| = 1/2.
+
+    A stand-in for mixtures/ablations whose variance is not monotone in
+    |t|; never sampled, only analyzed.
+    """
+
+    name = "interior-peak-test"
+
+    def privatize(self, values, rng=None):  # pragma: no cover - unused
+        return np.asarray(values, dtype=float)
+
+    def variance(self, t):
+        t = np.asarray(t, dtype=float)
+        return 1.0 + (1.0 - (2.0 * np.abs(t) - 1.0) ** 2)
+
+
+class TestDenseGridFallback:
+    def test_grid_contains_anchor_points(self):
+        grid = variance_grid()
+        for anchor in (-1.0, -0.5, 0.0, 0.5, 1.0):
+            assert anchor in grid
+
+    def test_interior_peak_found(self):
+        mech = _InteriorPeakMechanism(epsilon=1.0)
+        # The old endpoints-only evaluation would have returned 1.0.
+        assert mech.worst_case_variance() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("name", sorted(available_mechanisms()))
+    def test_fallback_matches_closed_forms(self, name, epsilon):
+        """Dense-grid search agrees with every subclass closed form."""
+        mech = get_mechanism(name, epsilon)
+        grid_value = NumericMechanism.worst_case_variance(mech)
+        closed_form = mech.worst_case_variance()
+        assert grid_value == pytest.approx(closed_form, rel=1e-9)
+
+    def test_hybrid_custom_alpha_uses_grid(self):
+        # A suboptimal alpha falls back to the grid search; the result
+        # must dominate the variance at every anchor point.
+        mech = get_mechanism("hm", 1.0, alpha=0.3)
+        wcv = mech.worst_case_variance()
+        assert wcv >= float(np.max(mech.variance(np.array([-1.0, 0.0, 1.0]))))
+
+
+class TestCollectorWorstCase:
+    def test_collector_grid_consistent_with_per_coordinate(self):
+        collector = MultidimNumericCollector(4.0, 8, "hm")
+        expected = float(
+            np.max(collector.per_coordinate_variance(variance_grid()))
+        )
+        assert collector.worst_case_variance() == pytest.approx(expected)
+
+    def test_generic_fallback_branch(self):
+        # A non-pm/hm mechanism exercises the first-principles branch.
+        collector = MultidimNumericCollector(2.0, 4, "duchi", k=1)
+        wcv = collector.worst_case_variance()
+        var_at_zero = float(
+            collector.per_coordinate_variance(np.array([0.0]))[0]
+        )
+        assert wcv == pytest.approx(var_at_zero)
