@@ -27,6 +27,7 @@ import pytest
 
 from repro.multidim import MultidimNumericCollector
 from repro.protocol import Protocol
+from repro.runtime import run_inline
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BASELINE_PATH = RESULTS_DIR / "protocol_throughput_baseline.json"
@@ -50,13 +51,11 @@ def _legacy_collect():
 
 
 def _protocol_absorb():
+    # The runtime's inline path: batched encode_batch/absorb with one
+    # accumulator, identical stream consumption to the manual loop.
     protocol = Protocol.multidim(EPSILON, d=D, mechanism="hm")
-    client = protocol.client()
-    server = protocol.server()
     rng = np.random.default_rng(1)
-    for start in range(0, N, BATCH):
-        server.absorb(client.encode_batch(TUPLES[start : start + BATCH], rng))
-    return server.estimate()
+    return run_inline(protocol, TUPLES, rng, batch_size=BATCH).estimate()
 
 
 _PATHS = {

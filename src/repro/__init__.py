@@ -83,6 +83,12 @@ from repro.protocol import (
     available_primitives,
     get_primitive,
 )
+from repro.runtime import (
+    ParallelRunner,
+    ShardPlan,
+    StreamingRunner,
+    run_sharded,
+)
 from repro.sgd import (
     LDPSGDTrainer,
     LinearRegression,
@@ -103,6 +109,11 @@ __all__ = [
     "ServerAccumulator",
     "available_primitives",
     "get_primitive",
+    # runtime (sharded / parallel / streaming execution)
+    "ShardPlan",
+    "ParallelRunner",
+    "StreamingRunner",
+    "run_sharded",
     # core
     "NumericMechanism",
     "available_mechanisms",

@@ -39,12 +39,16 @@ def sample_attribute_matrix(
     """(n, k) matrix: each row is k distinct attribute indices from [0, d).
 
     Uniform sampling without replacement per user (Algorithm 4, line 3),
-    vectorized via per-row random ranking.
+    vectorized via per-row random ranking.  ``n = 0`` is allowed and
+    yields an empty (0, k) matrix without consuming the rng, so an
+    empty batch flows through the protocol layer as a uniform no-op.
     """
     if not 1 <= k <= d:
         raise ValueError(f"need 1 <= k <= d, got k={k}, d={d}")
-    if n <= 0:
-        raise ValueError(f"n must be positive, got {n}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return np.empty((0, k), dtype=np.int64)
     gen = ensure_rng(rng)
     return np.argsort(gen.random((n, d)), axis=1)[:, :k]
 

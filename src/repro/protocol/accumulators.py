@@ -49,7 +49,14 @@ class ServerAccumulator(abc.ABC):
 
     @abc.abstractmethod
     def absorb(self, reports) -> "ServerAccumulator":
-        """Fold in one batch of reports; retains no report."""
+        """Fold in one batch of reports; retains no report.
+
+        Absorbing an *empty* batch (zero reports, e.g. from an empty
+        shard or an encoder fed no values) is a uniform no-op across
+        every accumulator: state and count are unchanged.
+        :meth:`estimate` still raises ``ValueError`` while the total
+        count is zero.
+        """
 
     @abc.abstractmethod
     def merge(self, other: "ServerAccumulator") -> "ServerAccumulator":
@@ -143,6 +150,10 @@ class MultidimMeanAccumulator(ServerAccumulator):
             self._count += reports.n
             return self
         arr = np.asarray(reports, dtype=float)
+        # Uniform empty-batch no-op: a size-0 array is accepted in any
+        # shape (an empty list cannot carry a column count).
+        if arr.size == 0:
+            return self
         if arr.ndim == 1:
             arr = arr.reshape(1, -1)
         if arr.ndim != 2 or arr.shape[1] != self.d:

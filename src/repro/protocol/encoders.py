@@ -51,7 +51,14 @@ class ClientEncoder(abc.ABC):
 
     @abc.abstractmethod
     def encode_batch(self, values, rng: RngLike = None):
-        """Perturb a batch of true values into transmit-ready reports."""
+        """Perturb a batch of true values into transmit-ready reports.
+
+        An *empty* batch (zero values) is valid for every encoder and
+        produces an empty report batch without consuming the rng; the
+        matching accumulator absorbs it as a no-op.  This keeps empty
+        shards and quiet streaming windows uniform across protocol
+        kinds.
+        """
 
     @abc.abstractmethod
     def new_accumulator(self) -> ServerAccumulator:

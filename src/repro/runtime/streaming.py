@@ -1,0 +1,141 @@
+"""Streaming execution: absorb report batches as they arrive.
+
+Real aggregators never see all n users at once — reports trickle in
+over hours.  :class:`StreamingRunner` accepts raw-value batches in
+arrival order, encodes them (optionally on a background thread pool)
+and folds them into one accumulator, holding at most ``max_pending``
+encoded batches at any moment.  Memory is therefore bounded by
+O(max_pending * batch report size + accumulator state) no matter how
+many batches stream through.
+
+Determinism: batch i is encoded with the i-th child stream spawned from
+the runner's root :class:`numpy.random.SeedSequence` (unless the caller
+supplies an explicit rng per batch), and batches are absorbed in
+submission order — so a streamed run is reproducible from (seed, batch
+sequence) alone, and matches a serial loop over the same batches with
+the same spawned streams.
+
+    runner = StreamingRunner(protocol, seed=7, max_pending=4)
+    for batch in arriving_batches:
+        runner.submit(batch)
+    estimates = runner.finish().estimate()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from repro.protocol.accumulators import ServerAccumulator
+from repro.runtime.runner import _resolve_encoder
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class StreamingRunner:
+    """Bounded-memory, arrival-order absorption of value batches.
+
+    Parameters
+    ----------
+    protocol_or_encoder:
+        A :class:`~repro.protocol.facade.Protocol` or a bare
+        :class:`~repro.protocol.encoders.ClientEncoder`.
+    seed:
+        Entropy for the root SeedSequence whose spawned children seed
+        the per-batch encodings; ``None`` draws OS entropy (the run is
+        then not reproducible).
+    max_pending:
+        Upper bound on encoded-but-not-yet-absorbed batches; submitting
+        past it blocks on (and absorbs) the oldest pending batch first.
+    max_workers:
+        Background encoding threads.  ``0`` encodes synchronously in
+        :meth:`submit` (still bounded, no pool); defaults to
+        ``max_pending``.
+    """
+
+    def __init__(
+        self,
+        protocol_or_encoder,
+        seed: Optional[int] = None,
+        max_pending: int = 4,
+        max_workers: Optional[int] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(
+                f"max_workers must be >= 0, got {max_workers}"
+            )
+        self._encoder = _resolve_encoder(protocol_or_encoder)
+        self._accumulator = self._encoder.new_accumulator()
+        self._root = np.random.SeedSequence(seed)
+        self.max_pending = int(max_pending)
+        workers = max_pending if max_workers is None else max_workers
+        self._pool = (
+            ThreadPoolExecutor(max_workers=workers) if workers else None
+        )
+        self._pending = deque()
+        self._batches = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _next_rng(self) -> np.random.Generator:
+        # spawn() is stateful-deterministic: the i-th call always yields
+        # the child with spawn key (i,), so batch i's stream is fixed.
+        return np.random.default_rng(self._root.spawn(1)[0])
+
+    def _absorb_oldest(self) -> None:
+        future = self._pending.popleft()
+        self._accumulator.absorb(future.result())
+
+    def submit(self, values, rng: RngLike = None) -> "StreamingRunner":
+        """Queue one arriving batch of raw values for encode + absorb."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a finished StreamingRunner")
+        gen = self._next_rng() if rng is None else ensure_rng(rng)
+        self._batches += 1
+        if self._pool is None:
+            self._accumulator.absorb(self._encoder.encode_batch(values, gen))
+            return self
+        while len(self._pending) >= self.max_pending:
+            self._absorb_oldest()
+        self._pending.append(
+            self._pool.submit(self._encoder.encode_batch, values, gen)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_submitted(self) -> int:
+        """Batches accepted so far (absorbed or still pending)."""
+        return self._batches
+
+    def finish(self) -> ServerAccumulator:
+        """Drain pending batches, shut the pool down, return the state.
+
+        Idempotent; the runner rejects further :meth:`submit` calls.
+        """
+        while self._pending:
+            self._absorb_oldest()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+        return self._accumulator
+
+    def __enter__(self) -> "StreamingRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingRunner(batches={self._batches}, "
+            f"pending={len(self._pending)}, "
+            f"max_pending={self.max_pending})"
+        )

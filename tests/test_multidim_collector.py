@@ -48,9 +48,15 @@ class TestSampleAttributeMatrix:
         with pytest.raises(ValueError):
             sample_attribute_matrix(10, 10, bad_k, rng)
 
-    def test_bad_n_rejected(self, rng):
+    def test_negative_n_rejected(self, rng):
         with pytest.raises(ValueError):
-            sample_attribute_matrix(0, 5, 2, rng)
+            sample_attribute_matrix(-1, 5, 2, rng)
+
+    def test_zero_n_yields_empty_matrix(self, rng):
+        # n = 0 is the uniform empty-batch no-op, not an error.
+        out = sample_attribute_matrix(0, 5, 2, rng)
+        assert out.shape == (0, 2)
+        assert out.dtype == np.int64
 
 
 class TestMultidimNumericCollector:

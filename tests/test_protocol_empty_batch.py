@@ -1,0 +1,163 @@
+"""Empty batches are a uniform no-op across every protocol kind.
+
+The contract (see ClientEncoder.encode_batch / ServerAccumulator.absorb):
+
+* encoding zero values yields a valid empty report batch and does not
+  consume the rng;
+* absorbing it leaves state and count unchanged;
+* estimate() still raises ValueError while the total count is zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+from repro.multidim.collector import sample_attribute_matrix
+from repro.protocol import Protocol
+from repro.protocol.accumulators import MeanAccumulator
+
+
+def _schema():
+    return Schema([NumericAttribute("a"), CategoricalAttribute("c", 4)])
+
+
+def _empty_dataset():
+    return Dataset(
+        _schema(), {"a": np.zeros(0), "c": np.zeros(0, dtype=np.int64)}
+    )
+
+
+def _full_dataset(n=400):
+    rng = np.random.default_rng(2)
+    return Dataset(
+        _schema(),
+        {"a": rng.uniform(-1, 1, n), "c": rng.integers(0, 4, n)},
+    )
+
+
+#: kind -> (protocol factory, empty batch, non-empty batch)
+KINDS = {
+    "mean": (
+        lambda: Protocol.numeric_mean(1.0, "hm"),
+        np.zeros(0),
+        np.linspace(-1, 1, 400),
+    ),
+    "frequency-oue": (
+        lambda: Protocol.frequency(1.0, domain=5, oracle="oue"),
+        np.zeros(0, dtype=np.int64),
+        np.arange(400) % 5,
+    ),
+    "frequency-grr": (
+        lambda: Protocol.frequency(1.0, domain=5, oracle="grr"),
+        np.zeros(0, dtype=np.int64),
+        np.arange(400) % 5,
+    ),
+    "frequency-olh": (
+        lambda: Protocol.frequency(1.0, domain=5, oracle="olh"),
+        np.zeros(0, dtype=np.int64),
+        np.arange(400) % 5,
+    ),
+    "histogram": (
+        lambda: Protocol.histogram(1.0, bins=4),
+        np.zeros(0),
+        np.linspace(-1, 1, 400),
+    ),
+    "multidim-numeric": (
+        lambda: Protocol.multidim(4.0, d=3, mechanism="pm"),
+        np.zeros((0, 3)),
+        np.random.default_rng(0).uniform(-1, 1, (400, 3)),
+    ),
+    "multidim-mixed": (
+        lambda: Protocol.multidim(4.0, schema=_schema()),
+        _empty_dataset(),
+        _full_dataset(),
+    ),
+}
+
+
+@pytest.fixture(params=list(KINDS))
+def kind(request):
+    return request.param
+
+
+class TestEmptyBatch:
+    def test_encode_empty_then_estimate_raises(self, kind):
+        factory, empty, _ = KINDS[kind]
+        protocol = factory()
+        server = protocol.server()
+        reports = protocol.client().encode_batch(
+            empty, np.random.default_rng(0)
+        )
+        assert server.absorb(reports) is server
+        assert server.count == 0
+        with pytest.raises(ValueError):
+            server.estimate()
+
+    def test_encode_empty_does_not_consume_rng(self, kind):
+        factory, empty, _ = KINDS[kind]
+        gen = np.random.default_rng(5)
+        before = gen.bit_generator.state
+        factory().client().encode_batch(empty, gen)
+        assert gen.bit_generator.state == before
+
+    def test_absorbing_empty_leaves_estimate_unchanged(self, kind):
+        factory, empty, full = KINDS[kind]
+        protocol = factory()
+        client = protocol.client()
+        server = protocol.server()
+        server.absorb(client.encode_batch(full, np.random.default_rng(1)))
+        count = server.count
+        reference = server.estimate()
+
+        server.absorb(client.encode_batch(empty, np.random.default_rng(2)))
+        assert server.count == count
+        updated = server.estimate()
+        for ref, upd in zip(
+            _flatten(reference), _flatten(updated)
+        ):
+            assert np.array_equal(ref, upd)
+
+    def test_merging_an_empty_accumulator_is_a_noop(self, kind):
+        factory, _, full = KINDS[kind]
+        protocol = factory()
+        server = protocol.server()
+        server.absorb(
+            protocol.client().encode_batch(full, np.random.default_rng(1))
+        )
+        reference = _flatten(server.estimate())
+        server.merge(protocol.server())
+        for ref, upd in zip(reference, _flatten(server.estimate())):
+            assert np.array_equal(ref, upd)
+
+
+def _flatten(estimate):
+    if hasattr(estimate, "histogram"):
+        return [estimate.histogram, estimate.raw]
+    if hasattr(estimate, "means"):
+        return [
+            np.array([estimate.means[k] for k in sorted(estimate.means)]),
+            *[estimate.frequencies[k] for k in sorted(estimate.frequencies)],
+        ]
+    return [np.atleast_1d(np.asarray(estimate, dtype=float))]
+
+
+class TestEdgeCases:
+    def test_sample_attribute_matrix_zero_users(self, rng):
+        out = sample_attribute_matrix(0, 7, 3, rng)
+        assert out.shape == (0, 3)
+
+    def test_mean_accumulator_accepts_bare_empty_list(self):
+        acc = MeanAccumulator()
+        acc.absorb([])
+        assert acc.count == 0
+
+    def test_multidim_accumulator_accepts_bare_empty_list(self):
+        acc = Protocol.multidim(4.0, d=3, mechanism="pm").server()
+        acc.absorb([])
+        acc.absorb(np.zeros((0, 3)))
+        assert acc.count == 0

@@ -1,0 +1,335 @@
+"""Shard-equivalence suite for the parallel runtime.
+
+The runtime's contract: the result of a planned run depends only on the
+plan — executor choice and worker count never change a single bit.
+Count-based accumulators (frequency, histogram) must agree *bitwise*;
+float-sum accumulators are also bitwise here because merge order is
+fixed by shard index, with <= 1e-12 as the documented fallback bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    CategoricalAttribute,
+    Dataset,
+    NumericAttribute,
+    Schema,
+)
+from repro.protocol import Protocol
+from repro.runtime import (
+    ParallelRunner,
+    ShardPlan,
+    StreamingRunner,
+    run_auto,
+    run_inline,
+    run_sharded,
+)
+
+N = 3_000
+SEED = 2019
+
+
+def _schema():
+    return Schema(
+        [
+            NumericAttribute("age"),
+            CategoricalAttribute("region", 6),
+            NumericAttribute("income"),
+        ]
+    )
+
+
+def _dataset(n=N):
+    rng = np.random.default_rng(1)
+    return Dataset(
+        _schema(),
+        {
+            "age": rng.uniform(-1, 1, n),
+            "region": rng.integers(0, 6, n),
+            "income": rng.uniform(-1, 1, n),
+        },
+    )
+
+
+def _workloads():
+    rng = np.random.default_rng(0)
+    return {
+        "mean": (
+            Protocol.numeric_mean(1.0, "hm"),
+            rng.uniform(-1, 1, N),
+        ),
+        "frequency": (
+            Protocol.frequency(1.0, domain=12, oracle="oue"),
+            rng.integers(0, 12, N),
+        ),
+        "frequency-olh": (
+            Protocol.frequency(1.0, domain=12, oracle="olh"),
+            rng.integers(0, 12, N),
+        ),
+        "histogram": (
+            Protocol.histogram(1.0, bins=8),
+            rng.uniform(-1, 1, N),
+        ),
+        "multidim": (
+            Protocol.multidim(4.0, d=5, mechanism="hm"),
+            rng.uniform(-1, 1, (N, 5)),
+        ),
+        "mixed": (Protocol.multidim(4.0, schema=_schema()), _dataset()),
+    }
+
+
+def _estimate_arrays(estimate):
+    """Flatten any protocol kind's estimate into comparable arrays."""
+    if hasattr(estimate, "histogram"):
+        return [estimate.histogram, estimate.raw]
+    if hasattr(estimate, "means"):
+        return [
+            np.array([estimate.means[k] for k in sorted(estimate.means)]),
+            *[estimate.frequencies[k] for k in sorted(estimate.frequencies)],
+        ]
+    return [np.atleast_1d(np.asarray(estimate, dtype=float))]
+
+
+def _assert_same_estimates(a, b, bitwise=True):
+    arrays_a, arrays_b = _estimate_arrays(a), _estimate_arrays(b)
+    assert len(arrays_a) == len(arrays_b)
+    for x, y in zip(arrays_a, arrays_b):
+        if bitwise:
+            assert np.array_equal(x, y)
+        else:
+            np.testing.assert_allclose(x, y, rtol=0, atol=1e-12)
+
+
+@pytest.fixture(params=list(_workloads()))
+def kind(request):
+    return request.param
+
+
+class TestExecutorEquivalence:
+    """Same plan => same bits, whatever executes it."""
+
+    def test_thread_workers_1_2_4_8_match_serial(self, kind):
+        protocol, values = _workloads()[kind]
+        plan = ShardPlan(n=N, num_shards=8, seed=SEED)
+        reference = ParallelRunner("serial").run(protocol, values, plan)
+        for workers in (1, 2, 4, 8):
+            acc = ParallelRunner("thread", max_workers=workers).run(
+                protocol, values, plan
+            )
+            assert acc.count == reference.count == N
+            _assert_same_estimates(acc.estimate(), reference.estimate())
+
+    def test_process_pool_matches_serial(self, kind):
+        protocol, values = _workloads()[kind]
+        plan = ShardPlan(n=N, num_shards=4, seed=SEED)
+        reference = ParallelRunner("serial").run(protocol, values, plan)
+        acc = ParallelRunner("process", max_workers=2).run(
+            protocol, values, plan
+        )
+        assert acc.count == N
+        _assert_same_estimates(acc.estimate(), reference.estimate())
+
+    def test_sharded_matches_manual_shard_loop(self, kind):
+        """The runner is exactly: encode each shard with its spawned
+        stream, merge in shard order."""
+        protocol, values = _workloads()[kind]
+        plan = ShardPlan(n=N, num_shards=5, seed=SEED)
+        encoder = protocol.client()
+        manual = protocol.server()
+        for shard in plan.shards():
+            chunk = (
+                values.subset(np.arange(shard.start, shard.stop))
+                if hasattr(values, "subset")
+                else values[shard.start : shard.stop]
+            )
+            manual.absorb(encoder.encode_batch(chunk, shard.rng()))
+        runner_acc = ParallelRunner("serial").run(protocol, values, plan)
+        _assert_same_estimates(runner_acc.estimate(), manual.estimate())
+
+    def test_batch_size_bounds_memory_not_results_for_counts(self):
+        """For OUE (one random matrix per batch, filled row-major) the
+        encode stream is batching-invariant, so even different
+        batch_size values agree bitwise."""
+        protocol, values = _workloads()["frequency"]
+        a = ShardPlan(n=N, num_shards=4, seed=SEED, batch_size=None)
+        b = ShardPlan(n=N, num_shards=4, seed=SEED, batch_size=97)
+        acc_a = ParallelRunner("serial").run(protocol, values, a)
+        acc_b = ParallelRunner("thread", max_workers=4).run(
+            protocol, values, b
+        )
+        _assert_same_estimates(acc_a.estimate(), acc_b.estimate())
+
+
+class TestRunnerSurface:
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner("mpi")
+        with pytest.raises(ValueError):
+            ParallelRunner("thread", max_workers=0)
+
+    def test_run_sharded_requires_plan_or_num_shards(self):
+        protocol, values = _workloads()["mean"]
+        with pytest.raises(ValueError):
+            run_sharded(protocol, values)
+
+    def test_run_sharded_rejects_conflicting_shards(self):
+        protocol, values = _workloads()["mean"]
+        plan = ShardPlan(n=N, num_shards=4, seed=1)
+        with pytest.raises(ValueError):
+            run_sharded(protocol, values, plan=plan, num_shards=8)
+
+    def test_run_sharded_rejects_conflicting_batch_size(self):
+        protocol, values = _workloads()["mean"]
+        plan = ShardPlan(n=N, num_shards=4, seed=1, batch_size=None)
+        with pytest.raises(ValueError):
+            run_sharded(protocol, values, plan=plan, batch_size=500)
+
+    def test_run_sharded_rejects_seed_or_rng_with_plan(self):
+        """An explicit plan owns all randomness — a seed/rng passed
+        alongside it would be silently ignored, so it is an error."""
+        protocol, values = _workloads()["mean"]
+        plan = ShardPlan(n=N, num_shards=4, seed=1)
+        with pytest.raises(ValueError, match="fixes all randomness"):
+            run_sharded(protocol, values, plan=plan, seed=2)
+        with pytest.raises(ValueError, match="fixes all randomness"):
+            run_sharded(protocol, values, plan=plan, rng=2)
+
+    def test_run_rejects_workload_plan_size_mismatch(self):
+        protocol, values = _workloads()["mean"]
+        plan = ShardPlan(n=N + 1, num_shards=4, seed=1)
+        with pytest.raises(ValueError, match="plan covers"):
+            ParallelRunner("serial").run(protocol, values, plan)
+
+    def test_loader_callable_workload(self):
+        """A loader callable (no __len__) serves chunks on demand."""
+        protocol, values = _workloads()["mean"]
+
+        def loader(start, stop):
+            return values[start:stop]
+
+        plan = ShardPlan(n=N, num_shards=4, seed=SEED)
+        from_loader = ParallelRunner("thread", max_workers=2).run(
+            protocol, loader, plan
+        )
+        from_array = ParallelRunner("serial").run(protocol, values, plan)
+        _assert_same_estimates(
+            from_loader.estimate(), from_array.estimate()
+        )
+
+    def test_run_sharded_with_seed_is_reproducible(self):
+        protocol, values = _workloads()["frequency"]
+        a = run_sharded(protocol, values, num_shards=4, seed=3)
+        b = run_sharded(
+            protocol, values, num_shards=4, seed=3, executor="thread",
+            max_workers=4,
+        )
+        _assert_same_estimates(a.estimate(), b.estimate())
+
+    def test_run_inline_matches_protocol_run(self, kind):
+        """The inline path is bitwise-compatible with Protocol.run."""
+        protocol, values = _workloads()[kind]
+        inline = run_inline(protocol, values, rng=123).estimate()
+        direct = protocol.run(values, rng=123)
+        _assert_same_estimates(inline, direct)
+
+    def test_run_auto_default_is_inline(self):
+        """One serial shard consumes the rng exactly like run_inline."""
+        protocol, values = _workloads()["multidim"]
+        auto = run_auto(protocol, values, 123).estimate()
+        inline = run_inline(protocol, values, rng=123).estimate()
+        _assert_same_estimates(auto, inline)
+
+    def test_run_auto_sharded_path_is_reproducible(self):
+        protocol, values = _workloads()["frequency"]
+        a = run_auto(protocol, values, 9, num_shards=4).estimate()
+        b = run_auto(protocol, values, 9, num_shards=4,
+                     executor="thread", max_workers=2).estimate()
+        _assert_same_estimates(a, b)
+
+    def test_empty_shards_are_noops(self):
+        protocol, values = _workloads()["mean"]
+        plan = ShardPlan(n=N, num_shards=N + 50, seed=SEED)
+        acc = ParallelRunner("thread", max_workers=4).run(
+            protocol, values, plan
+        )
+        assert acc.count == N
+
+    def test_accumulator_count_is_total_users(self, kind):
+        protocol, values = _workloads()[kind]
+        acc = run_sharded(protocol, values, num_shards=3, seed=SEED)
+        assert acc.count == N
+
+
+class TestStreamingRunner:
+    def _batches(self, values, size=500):
+        return [
+            values[lo : lo + size]
+            if not hasattr(values, "subset")
+            else values.subset(np.arange(lo, min(lo + size, len(values))))
+            for lo in range(0, len(values), size)
+        ]
+
+    def test_matches_serial_reference(self, kind):
+        protocol, values = _workloads()[kind]
+        batches = self._batches(values)
+
+        runner = StreamingRunner(protocol, seed=SEED, max_pending=2)
+        for batch in batches:
+            runner.submit(batch)
+        streamed = runner.finish()
+
+        root = np.random.SeedSequence(SEED)
+        encoder = protocol.client()
+        reference = protocol.server()
+        for batch in batches:
+            reference.absorb(
+                encoder.encode_batch(
+                    batch, np.random.default_rng(root.spawn(1)[0])
+                )
+            )
+        assert streamed.count == reference.count == N
+        _assert_same_estimates(streamed.estimate(), reference.estimate())
+
+    def test_synchronous_mode_matches_pooled(self):
+        protocol, values = _workloads()["frequency"]
+        batches = self._batches(values)
+        pooled = StreamingRunner(protocol, seed=1, max_pending=3)
+        sync = StreamingRunner(protocol, seed=1, max_workers=0)
+        for batch in batches:
+            pooled.submit(batch)
+            sync.submit(batch)
+        _assert_same_estimates(
+            pooled.finish().estimate(), sync.finish().estimate()
+        )
+
+    def test_pending_is_bounded(self):
+        protocol, values = _workloads()["mean"]
+        runner = StreamingRunner(protocol, seed=0, max_pending=2)
+        for batch in self._batches(values, size=100):
+            runner.submit(batch)
+            assert len(runner._pending) <= 2
+        runner.finish()
+
+    def test_finish_is_idempotent_and_closes(self):
+        protocol, values = _workloads()["mean"]
+        runner = StreamingRunner(protocol, seed=0)
+        runner.submit(values[:100])
+        acc = runner.finish()
+        assert runner.finish() is acc
+        with pytest.raises(RuntimeError):
+            runner.submit(values[:100])
+
+    def test_context_manager(self):
+        protocol, values = _workloads()["mean"]
+        with StreamingRunner(protocol, seed=0) as runner:
+            runner.submit(values[:200])
+        assert runner.batches_submitted == 1
+        assert runner.finish().count == 200
+
+    def test_validation(self):
+        protocol, _ = _workloads()["mean"]
+        with pytest.raises(ValueError):
+            StreamingRunner(protocol, max_pending=0)
+        with pytest.raises(ValueError):
+            StreamingRunner(protocol, max_workers=-1)

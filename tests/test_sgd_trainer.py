@@ -195,6 +195,119 @@ class TestLDPTrainer:
         expected = 5_000 // default_group_size(4, 1.0, 5_000)
         assert trainer.history.iterations == expected
 
+    @pytest.mark.parametrize("method", ["pm", "hm", "duchi", "laplace"])
+    def test_refit_with_different_dimension(self, method, rng):
+        """Regression: the perturber was cached across fits, so a refit
+        on data with a different p crashed pm/hm with a shape error and
+        silently kept laplace's old epsilon/p per-coordinate budget."""
+        trainer = LDPSGDTrainer(
+            "linear", epsilon=4.0, method=method, group_size=200
+        )
+        x1, y1, _ = _linear_data(rng, n=1_000, p=4)
+        assert trainer.fit(x1, y1, rng).shape == (4,)
+
+        x2 = rng.uniform(-1, 1, (1_000, 2))
+        y2 = np.clip(x2 @ np.array([0.4, -0.2]), -1, 1)
+        beta2 = trainer.fit(x2, y2, rng)
+        assert beta2.shape == (2,)
+        assert np.all(np.isfinite(beta2))
+
+    def test_refit_rebuilds_laplace_budget(self, rng):
+        """The per-coordinate Laplace budget must be epsilon/p for the
+        *current* p — keeping the stale value is a privacy-accounting
+        bug (refit to smaller p would keep a too-small budget; larger p
+        would overspend epsilon)."""
+        trainer = LDPSGDTrainer(
+            "linear", epsilon=2.0, method="laplace", group_size=200
+        )
+        x1, y1, _ = _linear_data(rng, n=600, p=4)
+        trainer.fit(x1, y1, rng)
+        assert trainer._collector.epsilon == pytest.approx(2.0 / 4)
+
+        x2 = rng.uniform(-1, 1, (600, 2))
+        y2 = np.clip(x2 @ np.array([0.4, -0.2]), -1, 1)
+        trainer.fit(x2, y2, rng)
+        assert trainer._collector.epsilon == pytest.approx(2.0 / 2)
+
+    @pytest.mark.parametrize("method", ["pm", "hm"])
+    def test_refit_rebuilds_collector_dimension(self, method, rng):
+        trainer = LDPSGDTrainer(
+            "linear", epsilon=4.0, method=method, group_size=200
+        )
+        x1, y1, _ = _linear_data(rng, n=600, p=4)
+        trainer.fit(x1, y1, rng)
+        assert trainer._collector.collector.d == 4
+
+        x2 = rng.uniform(-1, 1, (600, 3))
+        y2 = np.clip(x2 @ np.array([0.4, -0.2, 0.1]), -1, 1)
+        trainer.fit(x2, y2, rng)
+        assert trainer._collector.collector.d == 3
+
+    def test_refit_rebuilds_duchi_dimension(self, rng):
+        trainer = LDPSGDTrainer(
+            "linear", epsilon=4.0, method="duchi", group_size=200
+        )
+        x1, y1, _ = _linear_data(rng, n=600, p=4)
+        trainer.fit(x1, y1, rng)
+        assert trainer._collector.d == 4
+
+        x2 = rng.uniform(-1, 1, (600, 2))
+        y2 = np.clip(x2 @ np.array([0.4, -0.2]), -1, 1)
+        trainer.fit(x2, y2, rng)
+        assert trainer._collector.d == 2
+
+    def test_sharded_gradient_collection_runs(self, rng):
+        """num_shards > 1 routes each iteration's collection through the
+        sharded runtime and still trains."""
+        x, y, _ = _linear_data(rng, n=1_200)
+        trainer = LDPSGDTrainer(
+            "linear", epsilon=4.0, method="hm", group_size=300,
+            num_shards=3, executor="thread", max_workers=2,
+        )
+        beta = trainer.fit(x, y, rng)
+        assert beta.shape == (4,)
+        assert np.all(np.isfinite(beta))
+
+    def test_runtime_knobs_validated(self):
+        with pytest.raises(ValueError):
+            LDPSGDTrainer("linear", epsilon=1.0, num_shards=0)
+        with pytest.raises(ValueError):
+            LDPSGDTrainer("linear", epsilon=1.0, executor="gpu")
+
+    def test_default_inline_path_matches_pre_runtime_reference(self):
+        """With the default knobs the trainer consumes the rng exactly
+        as the pre-runtime implementation did, so seeded fits are
+        reproducible across versions.  The reference below is the old
+        _mean_gradient body verbatim (encode_batch + a fresh
+        MultidimMeanAccumulator per iteration)."""
+        from repro.protocol.accumulators import MultidimMeanAccumulator
+        from repro.sgd.trainer import clip_gradients
+
+        class PreRuntimeTrainer(LDPSGDTrainer):
+            def _mean_gradient(self, beta, x, y, gen):
+                grads = self._regularized_gradients(beta, x, y)
+                clipped = (
+                    clip_gradients(grads, self.clip_bound) / self.clip_bound
+                )
+                p = clipped.shape[1]
+                if self._collector is None:
+                    self._collector = self._build_perturber(p)
+                reports = self._collector.encode_batch(clipped, gen)
+                noisy_mean = (
+                    MultidimMeanAccumulator(p).absorb(reports).estimate()
+                )
+                return self.clip_bound * noisy_mean
+
+        rng = np.random.default_rng(8)
+        x, y, _ = _linear_data(rng, n=1_000)
+        new = LDPSGDTrainer(
+            "linear", epsilon=4.0, method="hm", group_size=250
+        ).fit(x, y, np.random.default_rng(77))
+        reference = PreRuntimeTrainer(
+            "linear", epsilon=4.0, method="hm", group_size=250
+        ).fit(x, y, np.random.default_rng(77))
+        assert np.array_equal(new, reference)
+
     def test_gradient_clipping_applied(self, rng):
         """With a huge initial residual the raw gradient exceeds 1; the
         perturbed mean gradient must stay bounded by the mechanism's
