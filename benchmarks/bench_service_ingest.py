@@ -1,0 +1,177 @@
+"""Sustained ingest throughput through the networked service path.
+
+For each workload the script boots a real :class:`IngestionServer` on
+localhost, pre-encodes report batches client-side, and times the full
+submission path — wire encoding, HTTP, envelope validation, budget
+charging, absorption — recording sustained reports/second.  Each
+workload runs twice: without durability, and with a snapshot store
+checkpointing every ``CHECKPOINT_EVERY`` batches, so the cost of
+crash-safety is a number, not a guess.  Correctness is asserted along
+the way: the served ``/estimate`` must be bitwise-equal to absorbing
+the same reports locally.
+
+Results land in a JSON whose committed baseline is
+``benchmarks/results/service_ingest_baseline.json``; CI runs
+``--smoke`` on every push and uploads the JSON as an artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service_ingest.py
+      PYTHONPATH=src python benchmarks/bench_service_ingest.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.protocol import Protocol  # noqa: E402
+from repro.service import (  # noqa: E402
+    IngestionServer,
+    ServiceClient,
+    SnapshotStore,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "service_ingest_baseline.json"
+
+BATCH_SIZE = 2_000
+CHECKPOINT_EVERY = 10
+SEED = 2019
+
+
+def _workloads(n: int):
+    rng = np.random.default_rng(0)
+    return {
+        "frequency-oue": {
+            "protocol": Protocol.frequency(1.0, domain=32),
+            "values": rng.integers(0, 32, n),
+        },
+        "multidim-hm": {
+            "protocol": Protocol.multidim(4.0, d=8, mechanism="hm"),
+            "values": rng.uniform(-1, 1, (n, 8)),
+        },
+    }
+
+
+def _estimate_array(estimate):
+    return np.atleast_1d(np.asarray(estimate, dtype=float))
+
+
+def _encode_batches(protocol, values, n):
+    encoder = protocol.client()
+    batches = []
+    for i, lo in enumerate(range(0, n, BATCH_SIZE)):
+        chunk = values[lo : lo + BATCH_SIZE]
+        batches.append(
+            (
+                encoder.encode_batch(chunk, np.random.default_rng(SEED + i)),
+                [f"u{lo + j}" for j in range(len(chunk))],
+            )
+        )
+    return batches
+
+
+def _run_ingest(protocol, batches, store=None, checkpoint_every=None):
+    server = IngestionServer(
+        protocol, store=store, checkpoint_every=checkpoint_every
+    ).run_in_thread()
+    try:
+        client = ServiceClient("127.0.0.1", server.port)
+        client.fetch_spec()  # outside the timed window
+        start = time.perf_counter()
+        for reports, users in batches:
+            client.submit_reports(reports, users)
+        elapsed = time.perf_counter() - start
+        estimate = _estimate_array(client.estimate())
+    finally:
+        server.stop()
+    return elapsed, estimate
+
+
+def bench_workloads(n: int) -> dict:
+    out = {}
+    for name, spec in _workloads(n).items():
+        protocol, values = spec["protocol"], spec["values"]
+        batches = _encode_batches(protocol, values, n)
+
+        reference = protocol.server()
+        for reports, _ in batches:
+            reference.absorb(reports)
+        reference_estimate = _estimate_array(reference.estimate())
+
+        plain_s, plain_estimate = _run_ingest(protocol, batches)
+        with tempfile.TemporaryDirectory() as tmp:
+            durable_s, durable_estimate = _run_ingest(
+                protocol,
+                batches,
+                store=SnapshotStore(tmp),
+                checkpoint_every=CHECKPOINT_EVERY,
+            )
+
+        bitwise = bool(
+            np.array_equal(plain_estimate, reference_estimate)
+            and np.array_equal(durable_estimate, reference_estimate)
+        )
+        if not bitwise:
+            raise AssertionError(
+                f"{name}: served estimate diverged from the local "
+                f"reference absorb"
+            )
+        out[name] = {
+            "n": n,
+            "batch_size": BATCH_SIZE,
+            "batches": len(batches),
+            "bitwise_equal_to_local": bitwise,
+            "ingest": {
+                "seconds": plain_s,
+                "reports_per_second": n / plain_s,
+            },
+            "ingest_with_checkpoints": {
+                "seconds": durable_s,
+                "reports_per_second": n / durable_s,
+                "checkpoint_every_batches": CHECKPOINT_EVERY,
+                "overhead_vs_plain": durable_s / plain_s,
+            },
+        }
+        print(
+            f"{name:>16}: {n / plain_s:>10.0f} reports/s plain, "
+            f"{n / durable_s:>10.0f} reports/s with checkpoints "
+            f"every {CHECKPOINT_EVERY} batches [bitwise ok]"
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small n for CI (correctness + trajectory, not peak rate)",
+    )
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (10_000 if args.smoke else 100_000)
+    results = {
+        "benchmark": "service_ingest",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "batch_size": BATCH_SIZE,
+        "workloads": bench_workloads(n),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,25 +1,34 @@
-"""A production-shaped deployment: streaming reports, budget accounting
-and published confidence intervals.
+"""A production-shaped deployment over the real client/server split:
+an HTTP ingestion service, on-device encoding, budget enforcement at
+the server, durable checkpoints, and published confidence intervals.
 
-Scenario: reports arrive in daily batches; the aggregator
+Scenario: reports arrive in daily batches; the deployment
 
-1. plans the deployment (how many users does the target accuracy need?),
-2. charges each reporting user's lifetime budget through the accountant,
-3. folds batches into streaming aggregators (no raw report retained), and
-4. publishes means with simultaneous 95% confidence intervals.
+1. plans the rollout (how many users does the target accuracy need?),
+2. boots the aggregator as a networked service with a snapshot store,
+3. submits each day's batch through the client SDK — values are
+   perturbed *on the client*; the server only ever sees LDP reports and
+   charges every accepted report against the per-user lifetime budget,
+4. crashes the server mid-deployment and resumes from the latest
+   checkpoint without losing a report, and
+5. publishes means with simultaneous 95% confidence intervals.
 
-Run:  python examples/streaming_deployment.py
+Run:  PYTHONPATH=src python examples/streaming_deployment.py
 """
+
+import tempfile
 
 import numpy as np
 
-from repro import MixedMultidimCollector, make_br_like
-from repro.analysis import (
-    PrivacyAccountant,
-    collector_mean_intervals,
-    required_users,
+from repro import make_br_like
+from repro.analysis import collector_mean_intervals, required_users
+from repro.protocol import Protocol
+from repro.service import (
+    IngestionServer,
+    OverBudgetError,
+    ServiceClient,
+    SnapshotStore,
 )
-from repro.multidim import StreamingMixedAggregator
 
 EPSILON = 1.0
 LIFETIME_EPSILON = 1.0  # one report per user, as in the paper's SGD
@@ -39,41 +48,78 @@ def main():
           f"({'enough' if total_users >= plan.required_n else 'NOT enough'} "
           f"for the target)\n")
 
-    # ---- 2 + 3. streaming collection with accounting ------------------
+    # ---- 2. boot the aggregator service -------------------------------
     dataset = make_br_like(total_users, rng=rng)
-    collector = MixedMultidimCollector(dataset.schema, EPSILON)
-    stream = StreamingMixedAggregator(collector)
-    accountant = PrivacyAccountant(lifetime_epsilon=LIFETIME_EPSILON)
+    protocol = Protocol.multidim(EPSILON, schema=dataset.schema,
+                                 mechanism="hm")
+    snapshot_dir = tempfile.mkdtemp(prefix="ldp-snapshots-")
+    server = IngestionServer(
+        protocol,
+        lifetime_epsilon=LIFETIME_EPSILON,
+        store=SnapshotStore(snapshot_dir),
+        checkpoint_every=1,
+    ).run_in_thread()
+    client = ServiceClient("127.0.0.1", server.port)
+    print(f"service: {client.fetch_spec()['spec']['kind']} protocol on "
+          f"port {server.port}, checkpoints -> {snapshot_dir}")
 
+    # ---- 3. daily batches through the client SDK ----------------------
+    crash_after = DAYS // 2
     for day in range(DAYS):
         start = day * USERS_PER_DAY
-        batch_users = [f"user-{i}" for i in range(start, start + USERS_PER_DAY)]
-        charged = accountant.charge_group(
-            batch_users, EPSILON, label=f"day-{day}"
-        )
+        users = [f"user-{i}" for i in range(start, start + USERS_PER_DAY)]
         batch = dataset.subset(np.arange(start, start + USERS_PER_DAY))
-        stream.update(collector.privatize(batch, rng))
-        interim = stream.estimates()
-        print(
-            f"day {day}: charged {len(charged)} users "
-            f"(ledger total eps = {accountant.total_spent():.0f}); "
-            f"interim income mean = {interim.means['total_income']:+.4f}"
-        )
+        # encode locally -- raw values never reach the socket
+        response = client.submit(batch, users=users, rng=rng)
+        interim = client.estimate()
+        print(f"day {day}: charged {response['accepted']} users; "
+              f"interim income mean = {interim.means['total_income']:+.4f}")
 
-    # A user who already reported cannot be charged again.
-    assert accountant.charge_group(["user-0"], EPSILON) == ()
+        if day == crash_after:
+            # ---- 4. kill-and-resume ----------------------------------
+            before = client.estimate()
+            server.stop()  # abrupt: no farewell checkpoint
+            server = IngestionServer(
+                protocol,
+                lifetime_epsilon=LIFETIME_EPSILON,
+                store=SnapshotStore(snapshot_dir),
+                checkpoint_every=1,
+            ).run_in_thread()
+            client = ServiceClient("127.0.0.1", server.port)
+            health = client.healthz()
+            after = client.estimate()
+            identical = all(
+                before.means[k] == after.means[k] for k in before.means
+            )
+            print(f"  -- crash! resumed from snapshot "
+                  f"{health['resumed_from_snapshot']} with "
+                  f"{health['reports']} reports intact "
+                  f"(estimates identical: {identical})")
 
-    # ---- 4. publish with intervals ------------------------------------
-    estimates = stream.estimates()
+    # A user who already reported is turned away at the server.
+    try:
+        client.submit(dataset.subset(np.arange(1)), users=["user-0"],
+                      rng=rng)
+        raise AssertionError("expected an over-budget rejection")
+    except OverBudgetError as exc:
+        print(f"\nrepeat report by {exc.rejected_users[0]!r} rejected "
+              f"(HTTP {exc.status}: budget exhausted)")
+
+    # ---- 5. publish with intervals ------------------------------------
+    estimates = client.estimate()
+    n_reports = client.healthz()["reports"]
+    collector = client.protocol.client().collector
     intervals = collector_mean_intervals(
-        collector, estimates.means, stream.users, beta=0.05
+        collector, estimates.means, n_reports, beta=0.05
     )
     truth = dataset.true_numeric_means()
     print(f"\npublished means with simultaneous 95% intervals "
-          f"(n = {stream.users}):")
+          f"(n = {n_reports}):")
     for name, ci in intervals.items():
         covered = "ok " if ci.contains(truth[name]) else "MISS"
         print(f"  {name:<16} {ci}   true {truth[name]:+.5f}  [{covered}]")
+
+    server.stop()
 
 
 if __name__ == "__main__":

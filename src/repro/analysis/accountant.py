@@ -10,7 +10,7 @@ participate in exactly one iteration (Section V's m = 1 argument).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core.validation import check_epsilon
 
@@ -96,8 +96,48 @@ class PrivacyAccountant:
         """Sum of eps across all users (a deployment-level cost figure)."""
         return float(sum(self._spent.values()))
 
+    def users(self) -> Tuple[str, ...]:
+        """Every user with at least one recorded charge."""
+        return tuple(self._spent)
+
     def exhausted_users(self) -> Tuple[str, ...]:
         """Users with (numerically) no budget left."""
         return tuple(
             sorted(u for u in self._spent if self.remaining(u) < 1e-12)
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of the full accounting state.
+
+        Carries both the per-user spent map and the charge ledger so a
+        service can persist budgets across restarts;
+        :meth:`from_dict` round-trips exactly (floats survive JSON
+        bitwise — ``json`` serializes them via ``repr`` round-trip).
+        """
+        return {
+            "lifetime_epsilon": self.lifetime_epsilon,
+            "spent": dict(self._spent),
+            "ledger": [
+                {"user": c.user, "epsilon": c.epsilon, "label": c.label}
+                for c in self._ledger
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PrivacyAccountant":
+        """Rebuild an accountant from :meth:`to_dict` output."""
+        accountant = cls(lifetime_epsilon=float(payload["lifetime_epsilon"]))
+        accountant._spent = {
+            str(user): float(eps)
+            for user, eps in payload.get("spent", {}).items()
+        }
+        accountant._ledger = [
+            Charge(
+                user=str(entry["user"]),
+                epsilon=float(entry["epsilon"]),
+                label=str(entry.get("label", "")),
+            )
+            for entry in payload.get("ledger", [])
+        ]
+        return accountant

@@ -52,6 +52,7 @@ from repro.protocol.registry import (
 from repro.protocol.reports import SampledNumericReports
 from repro.protocol.spec import (
     PROTOCOL_KINDS,
+    SPEC_VERSION,
     ProtocolSpec,
     schema_from_dict,
     schema_to_dict,
@@ -62,6 +63,7 @@ __all__ = [
     "Protocol",
     "ProtocolSpec",
     "PROTOCOL_KINDS",
+    "SPEC_VERSION",
     "schema_to_dict",
     "schema_from_dict",
     # registry

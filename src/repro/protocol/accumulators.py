@@ -71,6 +71,26 @@ class ServerAccumulator(abc.ABC):
     def count(self) -> int:
         """Reports absorbed so far (via absorb and merge)."""
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (used by repro.service for wire transfer and
+    # durable checkpoints).  ``state_dict`` returns plain python
+    # scalars, dicts, and numpy arrays — raw sufficient statistics, no
+    # configuration (that lives in the ProtocolSpec).  ``load_state``
+    # restores them bitwise into a freshly built accumulator of the
+    # same protocol.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Snapshot of the sufficient statistics; see :meth:`load_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def load_state(self, state: Dict) -> "ServerAccumulator":
+        """Restore :meth:`state_dict` output bitwise; returns ``self``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
     def _require_reports(self):
         if self.count == 0:
             raise ValueError("no reports received yet")
@@ -114,6 +134,14 @@ class MeanAccumulator(ServerAccumulator):
     @property
     def count(self) -> int:
         return self._count
+
+    def state_dict(self) -> Dict:
+        return {"sum": self._sum, "count": self._count}
+
+    def load_state(self, state: Dict) -> "MeanAccumulator":
+        self._sum = float(state["sum"])
+        self._count = int(state["count"])
+        return self
 
     def estimate(self) -> float:
         self._require_reports()
@@ -175,6 +203,21 @@ class MultidimMeanAccumulator(ServerAccumulator):
     def count(self) -> int:
         return self._count
 
+    def state_dict(self) -> Dict:
+        # Copies: a snapshot must stay stable while absorbs continue.
+        return {"sums": self._sums.copy(), "count": self._count}
+
+    def load_state(self, state: Dict) -> "MultidimMeanAccumulator":
+        sums = np.asarray(state["sums"], dtype=float)
+        if sums.shape != (self.d,):
+            raise ValueError(
+                f"state covers {sums.shape} sums, accumulator expects "
+                f"({self.d},)"
+            )
+        self._sums = sums.copy()
+        self._count = int(state["count"])
+        return self
+
     def estimate(self) -> np.ndarray:
         self._require_reports()
         return self._sums / self._count
@@ -221,6 +264,21 @@ class FrequencyAccumulator(ServerAccumulator):
     @property
     def count(self) -> int:
         return self._count
+
+    def state_dict(self) -> Dict:
+        # Copies: a snapshot must stay stable while absorbs continue.
+        return {"support": self._support.copy(), "count": self._count}
+
+    def load_state(self, state: Dict) -> "FrequencyAccumulator":
+        support = np.asarray(state["support"], dtype=float)
+        if support.shape != (self.oracle.k,):
+            raise ValueError(
+                f"state covers {support.shape} support counts, "
+                f"accumulator expects ({self.oracle.k},)"
+            )
+        self._support = support.copy()
+        self._count = int(state["count"])
+        return self
 
     def debiased_counts(self) -> np.ndarray:
         """Sum of unbiased per-report indicators, per domain value."""
@@ -358,6 +416,37 @@ class MixedAccumulator(ServerAccumulator):
     @property
     def count(self) -> int:
         return self._users
+
+    def state_dict(self) -> Dict:
+        # Copies: a snapshot must stay stable while absorbs continue.
+        return {
+            "numeric_sums": self._numeric_sums.copy(),
+            "frequency": {
+                name: acc.state_dict()
+                for name, acc in self._frequency.items()
+            },
+            "users": self._users,
+        }
+
+    def load_state(self, state: Dict) -> "MixedAccumulator":
+        sums = np.asarray(state["numeric_sums"], dtype=float)
+        if sums.shape != self._numeric_sums.shape:
+            raise ValueError(
+                f"state covers {sums.shape} numeric sums, accumulator "
+                f"expects {self._numeric_sums.shape}"
+            )
+        frequency = state["frequency"]
+        if set(frequency) != set(self._frequency):
+            raise ValueError(
+                f"state covers categorical attributes "
+                f"{sorted(frequency)}, accumulator expects "
+                f"{sorted(self._frequency)}"
+            )
+        self._numeric_sums = sums.copy()
+        for name, sub in frequency.items():
+            self._frequency[name].load_state(sub)
+        self._users = int(state["users"])
+        return self
 
     def estimate(self) -> "MixedEstimates":
         from repro.multidim.aggregator import MixedEstimates

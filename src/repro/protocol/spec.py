@@ -27,6 +27,13 @@ PROTOCOL_KINDS = (
     "multidim-mixed",
 )
 
+#: Schema version stamped into every ``ProtocolSpec.to_dict`` payload.
+#: ``major.minor``: a minor bump may add keys (old readers ignore them),
+#: a major bump changes the meaning of existing keys (old readers must
+#: reject the payload rather than mis-build a protocol).
+SPEC_VERSION = "1.0"
+SPEC_MAJOR, SPEC_MINOR = (int(part) for part in SPEC_VERSION.split("."))
+
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:
     """JSON-friendly encoding of a :class:`Schema`."""
@@ -128,8 +135,13 @@ class ProtocolSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly encoding; ``from_dict`` round-trips exactly."""
-        payload: Dict[str, Any] = {}
+        """JSON-friendly encoding; ``from_dict`` round-trips exactly.
+
+        The payload is stamped with ``spec_version`` so deployment
+        configs stored today survive future schema growth (see
+        :data:`SPEC_VERSION`).
+        """
+        payload: Dict[str, Any] = {"spec_version": SPEC_VERSION}
         for f in fields(self):
             value = getattr(self, f.name)
             if value is None:
@@ -141,12 +153,44 @@ class ProtocolSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ProtocolSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
-        known = {f.name for f in fields(cls)}
-        unknown = set(payload) - known
-        if unknown:
-            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Tolerant across minor schema growth: keys this version does not
+        know are ignored *when the payload claims a newer minor* (that
+        writer legitimately added them), but a payload from a different
+        *major* version is rejected outright — its known keys can no
+        longer be trusted to mean the same thing.  Unknown keys in a
+        payload from this reader's minor (or older) can only be
+        mistakes, so they stay hard errors.  Payloads without
+        ``spec_version`` (pre-versioning) are read as ``1.0``.
+        """
         data = dict(payload)
+        version = str(data.pop("spec_version", SPEC_VERSION))
+        parts = version.split(".")
+        try:
+            major = int(parts[0])
+            minor = int(parts[1]) if len(parts) > 1 else 0
+        except ValueError:
+            raise ValueError(
+                f"malformed spec_version {version!r}; expected "
+                f"'major.minor'"
+            ) from None
+        if major != SPEC_MAJOR:
+            raise ValueError(
+                f"spec_version {version!r} has major {major}, this "
+                f"reader understands only major {SPEC_MAJOR}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            if minor > SPEC_MINOR:
+                data = {k: v for k, v in data.items() if k in known}
+            else:
+                raise ValueError(
+                    f"unknown spec fields: {sorted(unknown)} (payload "
+                    f"claims spec_version {version!r}, which should not "
+                    f"carry them)"
+                )
         if "schema" in data and not isinstance(data["schema"], Schema):
             data["schema"] = schema_from_dict(data["schema"])
         return cls(**data)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -53,6 +53,22 @@ class StreamingRunner:
         Background encoding threads.  ``0`` encodes synchronously in
         :meth:`submit` (still bounded, no pool); defaults to
         ``max_pending``.
+    checkpoint_every:
+        Invoke ``on_checkpoint`` after every this-many absorbed batches
+        (``None`` disables checkpointing).
+    on_checkpoint:
+        ``callback(accumulator, batches_absorbed)`` fired synchronously
+        from the absorbing thread — the accumulator is quiescent for the
+        duration of the call, so the callback may snapshot its state
+        (e.g. via ``repro.service.store.SnapshotStore``).
+
+    Error handling: if a background encode raises, the exception
+    propagates exactly once — out of whichever :meth:`submit` or
+    :meth:`finish` call first observes the failed batch.  The thread
+    pool is shut down and remaining pending batches are discarded before
+    the exception is re-raised; afterwards the runner is closed
+    (``submit``/``finish`` raise ``RuntimeError`` describing the earlier
+    failure, without re-raising it).
     """
 
     def __init__(
@@ -61,6 +77,8 @@ class StreamingRunner:
         seed: Optional[int] = None,
         max_pending: int = 4,
         max_workers: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable] = None,
     ):
         if max_pending < 1:
             raise ValueError(
@@ -70,6 +88,15 @@ class StreamingRunner:
             raise ValueError(
                 f"max_workers must be >= 0, got {max_workers}"
             )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if on_checkpoint is None:
+                raise ValueError(
+                    "checkpoint_every requires an on_checkpoint callback"
+                )
         self._encoder = _resolve_encoder(protocol_or_encoder)
         self._accumulator = self._encoder.new_accumulator()
         self._root = np.random.SeedSequence(seed)
@@ -80,7 +107,13 @@ class StreamingRunner:
         )
         self._pending = deque()
         self._batches = 0
+        self._absorbed = 0
         self._closed = False
+        self._failure: Optional[BaseException] = None
+        self._checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every is not None else None
+        )
+        self._on_checkpoint = on_checkpoint
 
     # ------------------------------------------------------------------
     def _next_rng(self) -> np.random.Generator:
@@ -88,18 +121,56 @@ class StreamingRunner:
         # the child with spawn key (i,), so batch i's stream is fixed.
         return np.random.default_rng(self._root.spawn(1)[0])
 
+    def _absorbed_one(self) -> None:
+        self._absorbed += 1
+        if (
+            self._checkpoint_every is not None
+            and self._absorbed % self._checkpoint_every == 0
+        ):
+            self._on_checkpoint(self._accumulator, self._absorbed)
+
+    def _fail(self, exc: BaseException) -> None:
+        """Tear down after a failed encode; re-raise the error once."""
+        self._failure = exc
+        self._closed = True
+        for future in self._pending:
+            future.cancel()
+        self._pending.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        raise exc
+
+    def _check_usable(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                f"StreamingRunner failed on a previous batch encode: "
+                f"{self._failure!r}"
+            )
+        if self._closed:
+            raise RuntimeError("cannot submit to a finished StreamingRunner")
+
     def _absorb_oldest(self) -> None:
         future = self._pending.popleft()
-        self._accumulator.absorb(future.result())
+        try:
+            reports = future.result()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in _fail
+            self._fail(exc)
+        self._accumulator.absorb(reports)
+        self._absorbed_one()
 
     def submit(self, values, rng: RngLike = None) -> "StreamingRunner":
         """Queue one arriving batch of raw values for encode + absorb."""
-        if self._closed:
-            raise RuntimeError("cannot submit to a finished StreamingRunner")
+        self._check_usable()
         gen = self._next_rng() if rng is None else ensure_rng(rng)
         self._batches += 1
         if self._pool is None:
-            self._accumulator.absorb(self._encoder.encode_batch(values, gen))
+            try:
+                reports = self._encoder.encode_batch(values, gen)
+            except BaseException as exc:  # noqa: BLE001 - re-raised
+                self._fail(exc)  # same close-after-failure contract
+            self._accumulator.absorb(reports)
+            self._absorbed_one()
             return self
         while len(self._pending) >= self.max_pending:
             self._absorb_oldest()
@@ -114,11 +185,25 @@ class StreamingRunner:
         """Batches accepted so far (absorbed or still pending)."""
         return self._batches
 
+    @property
+    def batches_absorbed(self) -> int:
+        """Batches whose reports have been folded into the accumulator."""
+        return self._absorbed
+
     def finish(self) -> ServerAccumulator:
         """Drain pending batches, shut the pool down, return the state.
 
         Idempotent; the runner rejects further :meth:`submit` calls.
+        Raises the pending encode error if one is first observed here;
+        after a failure has already propagated (from :meth:`submit` or a
+        prior :meth:`finish`) it raises ``RuntimeError`` instead of
+        re-raising it.
         """
+        if self._failure is not None:
+            raise RuntimeError(
+                f"StreamingRunner failed on a previous batch encode: "
+                f"{self._failure!r}"
+            )
         while self._pending:
             self._absorb_oldest()
         if self._pool is not None:
@@ -131,7 +216,11 @@ class StreamingRunner:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.finish()
+        # After a failure the pool is already down and pending cleared;
+        # calling finish() again would mask the propagating exception
+        # with the secondary RuntimeError.
+        if self._failure is None:
+            self.finish()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,59 @@
+"""Networked LDP collection service.
+
+The deployment layer the paper assumes: clients perturb locally and
+submit over HTTP; a remote aggregator enforces per-user privacy budgets
+at ingestion, folds reports through the mergeable accumulators, and
+checkpoints durable state so a crash never loses the aggregate.
+
+* :mod:`repro.service.wire` — versioned, fingerprinted codec for every
+  report container, accumulator snapshot, and estimate.
+* :mod:`repro.service.store` — atomic snapshot files with
+  resume-from-latest recovery.
+* :mod:`repro.service.server` — stdlib asyncio HTTP ingestion server
+  (``POST /report``, ``GET /estimate``, ``GET /spec``,
+  ``GET /healthz``).
+* :mod:`repro.service.client` — SDK that encodes on-device and submits
+  with retry-safe idempotency keys.
+
+Serve a deployment config with ``python -m repro.service --spec
+spec.json``; see DESIGN.md ("The service layer") for the envelope
+format, checkpoint policy and budget-enforcement semantics.
+"""
+
+from repro.service.client import (
+    OverBudgetError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.server import IngestionServer
+from repro.service.store import SnapshotStore
+from repro.service.wire import (
+    WIRE_VERSION,
+    SpecMismatchError,
+    WireFormatError,
+    decode_estimate,
+    decode_reports,
+    encode_estimate,
+    encode_reports,
+    pack,
+    spec_fingerprint,
+    unpack,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "IngestionServer",
+    "OverBudgetError",
+    "ServiceClient",
+    "ServiceError",
+    "SnapshotStore",
+    "SpecMismatchError",
+    "WireFormatError",
+    "decode_estimate",
+    "decode_reports",
+    "encode_estimate",
+    "encode_reports",
+    "pack",
+    "spec_fingerprint",
+    "unpack",
+]

@@ -1,0 +1,244 @@
+"""Client SDK for the LDP ingestion service.
+
+The user-device half of the deployment.  The SDK fetches the server's
+``/spec`` once, rebuilds the identical :class:`Protocol` locally, and
+**perturbs on the client** — raw values are encoded into LDP reports
+before anything is written to the socket, so the server (and the wire)
+only ever see privatized data, exactly the paper's trust model.
+
+Submission is retry-safe: every batch carries an idempotency key
+(caller-supplied or derived deterministically from the report bytes),
+so a retry after a lost response cannot double-count the batch — the
+server answers ``duplicate`` for a key it has already folded in.
+
+    client = ServiceClient("127.0.0.1", 8321)
+    response = client.submit(values, users=user_ids, rng=7)
+    estimate = client.estimate()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.protocol.facade import Protocol
+from repro.service import wire
+from repro.utils.rng import RngLike
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = int(status)
+        self.payload = payload
+        detail = payload.get("detail") or payload.get("error") or payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class OverBudgetError(ServiceError):
+    """The batch contained users past their lifetime budget (HTTP 429)."""
+
+    @property
+    def rejected_users(self) -> List[str]:
+        return list(self.payload.get("rejected_users", []))
+
+
+class ServiceClient:
+    """HTTP client bound to one ingestion server.
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Transport-level retry attempts (connection refused/reset,
+        timeouts).  Safe for :meth:`submit` because the idempotency key
+        is fixed before the first attempt.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retries: int = 2,
+        retry_delay: float = 0.1,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_delay = float(retry_delay)
+        self._protocol: Optional[Protocol] = None
+        self._fingerprint: Optional[str] = None
+        self._spec_response: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_delay)
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=data,
+                    headers={"Content-Type": "application/json"}
+                    if data is not None
+                    else {},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                last_error = exc
+                continue
+            finally:
+                connection.close()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    response.status, {"error": "non_json_response"}
+                ) from exc
+            if response.status == 429:
+                raise OverBudgetError(response.status, payload)
+            if response.status >= 400:
+                raise ServiceError(response.status, payload)
+            return payload
+        raise ConnectionError(
+            f"could not reach service at {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # Spec / protocol
+    # ------------------------------------------------------------------
+    def fetch_spec(self) -> Dict[str, Any]:
+        """``GET /spec`` (cached); builds the local protocol twin."""
+        if self._spec_response is None:
+            response = self._request("GET", "/spec")
+            version = response.get("wire_version")
+            if version != wire.WIRE_VERSION:
+                raise wire.WireFormatError(
+                    f"server speaks wire_version {version!r}, this SDK "
+                    f"speaks {wire.WIRE_VERSION}"
+                )
+            self._protocol = Protocol.from_spec(response["spec"])
+            # Fingerprint what we *rebuilt*, so any local/remote drift
+            # (e.g. a spec field this SDK does not understand) is caught
+            # here instead of corrupting the aggregate server-side.
+            self._fingerprint = wire.spec_fingerprint(self._protocol.spec)
+            if self._fingerprint != response.get("fingerprint"):
+                raise wire.SpecMismatchError(
+                    "local protocol rebuild does not match the server's "
+                    "fingerprint — client and server disagree on the "
+                    "spec schema"
+                )
+            self._spec_response = response
+        return self._spec_response
+
+    @property
+    def protocol(self) -> Protocol:
+        """The locally rebuilt protocol (fetches the spec on first use)."""
+        self.fetch_spec()
+        return self._protocol
+
+    @property
+    def fingerprint(self) -> str:
+        self.fetch_spec()
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def encode(self, values, rng: RngLike = None):
+        """Perturb raw values locally into transmit-ready reports."""
+        return self.protocol.client().encode_batch(values, rng)
+
+    def submit(
+        self,
+        values,
+        users: Sequence[str],
+        rng: RngLike = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Encode locally and submit one batch for ``users``.
+
+        Raw ``values`` never leave this process; only the perturbed
+        reports are serialized onto the wire.
+        """
+        return self.submit_reports(
+            self.encode(values, rng), users, idempotency_key
+        )
+
+    def submit_reports(
+        self,
+        reports,
+        users: Sequence[str],
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit already-encoded reports (``POST /report``)."""
+        encoded = wire.encode_reports(reports)
+        if idempotency_key is None:
+            idempotency_key = self._derive_key(encoded, users)
+        envelope = wire.pack(
+            {
+                "users": [str(u) for u in users],
+                "idempotency_key": idempotency_key,
+                "reports": encoded,
+            },
+            self.fingerprint,
+        )
+        return self._request("POST", "/report", envelope)
+
+    @staticmethod
+    def _derive_key(encoded_reports: Dict[str, Any], users) -> str:
+        """Deterministic idempotency key from the batch content.
+
+        Retrying the same encoded batch reuses the same key even across
+        SDK instances, so a crash-and-rerun of a client script cannot
+        double-submit.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            json.dumps(encoded_reports, sort_keys=True).encode("utf-8")
+        )
+        digest.update(json.dumps([str(u) for u in users]).encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self):
+        """Current server-side estimate, decoded to native objects."""
+        payload = wire.unpack(
+            self._request("GET", "/estimate"), self.fingerprint
+        )
+        return wire.decode_estimate(payload["estimate"])
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def checkpoint(self) -> int:
+        """Ask the server to snapshot now; returns the sequence number."""
+        return int(self._request("POST", "/checkpoint")["seq"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient({self.host!r}, {self.port})"

@@ -1,0 +1,470 @@
+"""Stdlib-only asyncio HTTP ingestion server.
+
+The aggregator half of the paper's deployment, as an actual network
+service.  One :class:`IngestionServer` owns
+
+* the :class:`~repro.protocol.facade.Protocol` (built from a spec) and
+  its single :class:`~repro.protocol.accumulators.ServerAccumulator`,
+* a :class:`~repro.analysis.accountant.PrivacyAccountant` that every
+  accepted report batch is charged against *before* absorption —
+  over-budget users get the whole batch rejected with HTTP 429 and
+  nothing is charged or absorbed (the client may resubmit without the
+  exhausted users),
+* an optional :class:`~repro.service.store.SnapshotStore` for periodic
+  durable checkpoints and resume-on-restart.
+
+Endpoints (all JSON):
+
+==================  ====================================================
+``GET  /healthz``   liveness + counters
+``GET  /spec``      protocol spec dict, fingerprint, wire version
+``GET  /estimate``  current estimate (wire-encoded), report count
+``POST /report``    enveloped report batch (batch-capable, idempotent)
+``POST /checkpoint``  force a snapshot now; returns its sequence number
+==================  ====================================================
+
+Ingestion is strictly ordered: request handlers run on the event loop
+and absorb synchronously, so the accumulator sees batches in arrival
+order and a checkpoint always captures a quiescent state.
+
+The HTTP layer is a deliberately minimal HTTP/1.1 implementation over
+``asyncio.start_server`` (no third-party dependency, connection per
+request), sufficient for the SDK in :mod:`repro.service.client`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.analysis.accountant import PrivacyAccountant
+from repro.protocol.facade import Protocol
+from repro.protocol.spec import ProtocolSpec
+from repro.service import wire
+from repro.service.store import SnapshotStore
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Upper bound on accepted request bodies (64 MiB of JSON).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class IngestionServer:
+    """Networked LDP aggregator for one protocol.
+
+    Parameters
+    ----------
+    protocol_or_spec:
+        A :class:`Protocol`, a :class:`ProtocolSpec`, or a spec dict.
+    lifetime_epsilon:
+        Per-user lifetime budget cap; defaults to the spec's epsilon
+        (each user reports once, the paper's m = 1 policy).
+    store:
+        Snapshot store for durable checkpoints; when it already holds a
+        snapshot the server resumes from it (fingerprint-checked).
+    checkpoint_every:
+        Write a snapshot after every this-many accepted batches
+        (requires ``store``; ``None`` disables periodic checkpoints).
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
+        lifetime_epsilon: Optional[float] = None,
+        store: Optional[SnapshotStore] = None,
+        checkpoint_every: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if isinstance(protocol_or_spec, Protocol):
+            self.protocol = protocol_or_spec
+        else:
+            self.protocol = Protocol.from_spec(protocol_or_spec)
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if store is None:
+                raise ValueError("checkpoint_every requires a store")
+        self.spec = self.protocol.spec
+        self.fingerprint = wire.spec_fingerprint(self.spec)
+        self.accountant = PrivacyAccountant(
+            lifetime_epsilon=(
+                self.spec.epsilon
+                if lifetime_epsilon is None
+                else lifetime_epsilon
+            )
+        )
+        self.store = store
+        self.checkpoint_every = checkpoint_every
+        self.host = host
+        self.port = port
+        self._accumulator = self.protocol.server()
+        self._batches_accepted = 0
+        self._duplicates = 0
+        self._seen_keys = set()
+        self._resumed_from: Optional[int] = None
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        if self.store is not None:
+            self._maybe_resume()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _maybe_resume(self) -> None:
+        loaded = self.store.load_latest()
+        if loaded is None:
+            return
+        seq, snapshot = loaded
+        if snapshot.get("fingerprint") != self.fingerprint:
+            raise wire.SpecMismatchError(
+                f"snapshot {seq} in {self.store.directory} was written "
+                f"by a different protocol (fingerprint "
+                f"{str(snapshot.get('fingerprint'))[:12]!r}...)"
+            )
+        wire.decode_accumulator_state(
+            self._accumulator, snapshot["accumulator"]
+        )
+        self.accountant = PrivacyAccountant.from_dict(snapshot["accountant"])
+        self._batches_accepted = int(snapshot["batches_accepted"])
+        self._seen_keys = set(snapshot.get("idempotency_keys", []))
+        self._resumed_from = seq
+
+    def checkpoint_now(self) -> int:
+        """Write a snapshot of the full ingestion state; returns seq."""
+        if self.store is None:
+            raise RuntimeError("server has no snapshot store")
+        seq = self._batches_accepted
+        self.store.save(
+            seq,
+            {
+                "wire_version": wire.WIRE_VERSION,
+                "fingerprint": self.fingerprint,
+                "spec": self.spec.to_dict(),
+                "accumulator": wire.encode_accumulator_state(
+                    self._accumulator
+                ),
+                "accountant": self.accountant.to_dict(),
+                "batches_accepted": self._batches_accepted,
+                "idempotency_keys": sorted(self._seen_keys),
+            },
+        )
+        return seq
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "reports": self._accumulator.count,
+            "batches_accepted": self._batches_accepted,
+            "duplicates": self._duplicates,
+            "resumed_from_snapshot": self._resumed_from,
+            "users_charged": len(self.accountant.users()),
+        }
+
+    def _handle_spec(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "wire_version": wire.WIRE_VERSION,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec.to_dict(),
+            "epsilon_per_report": self.spec.epsilon,
+            "lifetime_epsilon": self.accountant.lifetime_epsilon,
+        }
+
+    def _handle_estimate(self) -> Tuple[int, Dict[str, Any]]:
+        if self._accumulator.count == 0:
+            return 409, {"error": "no_reports"}
+        return 200, wire.pack(
+            {
+                "estimate": wire.encode_estimate(
+                    self._accumulator.estimate()
+                ),
+                "reports": self._accumulator.count,
+            },
+            self.fingerprint,
+        )
+
+    def _handle_report(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = wire.unpack(body, self.fingerprint)
+        except wire.SpecMismatchError as exc:
+            return 409, {"error": "spec_mismatch", "detail": str(exc)}
+        except wire.WireFormatError as exc:
+            return 400, {"error": "bad_envelope", "detail": str(exc)}
+
+        key = payload.get("idempotency_key")
+        if key is not None and key in self._seen_keys:
+            self._duplicates += 1
+            return 200, {
+                "status": "duplicate",
+                "accepted": 0,
+                "total_reports": self._accumulator.count,
+            }
+
+        users = payload.get("users")
+        if not isinstance(users, list) or not users:
+            return 400, {
+                "error": "bad_request",
+                "detail": "payload must carry a non-empty 'users' list",
+            }
+        try:
+            reports = wire.decode_reports(payload["reports"])
+        except (KeyError, wire.WireFormatError, ValueError) as exc:
+            return 400, {"error": "bad_reports", "detail": str(exc)}
+        n = wire.report_count(reports)
+        if n != len(users):
+            return 400, {
+                "error": "bad_request",
+                "detail": f"batch carries {n} reports for {len(users)} "
+                f"users",
+            }
+
+        # Budget enforcement is atomic per batch: either every user has
+        # room for *all* their reports in the batch and all are
+        # charged, or nothing happens.  Multiplicity matters — a user
+        # appearing twice must afford 2x epsilon.
+        epsilon = self.spec.epsilon
+        multiplicity: Dict[str, int] = {}
+        for user in users:
+            name = str(user)
+            multiplicity[name] = multiplicity.get(name, 0) + 1
+        rejected = [
+            user
+            for user, reports_by_user in multiplicity.items()
+            if not self.accountant.can_charge(
+                user, reports_by_user * epsilon
+            )
+        ]
+        if rejected:
+            return 429, {
+                "error": "budget_exceeded",
+                "rejected_users": rejected,
+                "lifetime_epsilon": self.accountant.lifetime_epsilon,
+            }
+
+        # Absorb before charging: a shape/protocol violation the codec
+        # could not catch must not consume anyone's budget.  The charge
+        # loop below cannot fail — handlers run single-threaded on the
+        # event loop and every user was pre-checked at multiplicity.
+        try:
+            self._accumulator.absorb(reports)
+        except ValueError as exc:
+            return 400, {"error": "bad_reports", "detail": str(exc)}
+        for user, reports_by_user in multiplicity.items():
+            self.accountant.charge(
+                user, reports_by_user * epsilon, label="service"
+            )
+        self._batches_accepted += 1
+        if key is not None:
+            self._seen_keys.add(key)
+        if (
+            self.checkpoint_every is not None
+            and self._batches_accepted % self.checkpoint_every == 0
+        ):
+            self.checkpoint_now()
+        return 200, {
+            "status": "accepted",
+            "accepted": n,
+            "total_reports": self._accumulator.count,
+        }
+
+    def _handle_checkpoint(self) -> Tuple[int, Dict[str, Any]]:
+        if self.store is None:
+            return 409, {"error": "no_store"}
+        return 200, {"status": "ok", "seq": self.checkpoint_now()}
+
+    def _dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/spec"): self._handle_spec,
+            ("GET", "/estimate"): self._handle_estimate,
+            ("POST", "/checkpoint"): self._handle_checkpoint,
+        }
+        if (method, path) == ("POST", "/report"):
+            if body is None:
+                return 400, {
+                    "error": "bad_request",
+                    "detail": "POST /report requires a JSON body",
+                }
+            return self._handle_report(body)
+        handler = routes.get((method, path))
+        if handler is not None:
+            return handler()
+        known_paths = {"/healthz", "/spec", "/estimate", "/report",
+                       "/checkpoint"}
+        if path in known_paths:
+            return 405, {"error": "method_not_allowed"}
+        return 404, {"error": "not_found", "path": path}
+
+    # ------------------------------------------------------------------
+    # Minimal HTTP/1.1 plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, payload = await self._process_request(reader)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash loop
+            status, payload = 500, {
+                "error": "internal",
+                "detail": f"{type(exc).__name__}: {exc}",
+            }
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} "
+                    f"{_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _process_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": "bad_request_line"}
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad_content_length"}
+        if content_length > MAX_BODY_BYTES:
+            return 413, {"error": "payload_too_large"}
+        body = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": "bad_json", "detail": str(exc)}
+        return self._dispatch(method, path, body)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "IngestionServer":
+        """Bind and start accepting connections (non-blocking)."""
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._asyncio_server is None:
+            await self.start()
+        async with self._asyncio_server:
+            await self._asyncio_server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+
+    def run_in_thread(self) -> "IngestionServer":
+        """Serve from a daemon thread; returns once the port is bound.
+
+        The embedding pattern tests, benchmarks and examples use:
+
+            server = IngestionServer(spec).run_in_thread()
+            ... ServiceClient("127.0.0.1", server.port) ...
+            server.stop()
+
+        :meth:`stop` halts abruptly (no final checkpoint) — exactly the
+        crash model the snapshot store is designed to recover from.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server is already running in a thread")
+        started = threading.Event()
+        startup_error: list = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                startup_error.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.aclose())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if startup_error:
+            self._thread.join()
+            self._thread = None
+            raise startup_error[0]
+        return self
+
+    def stop(self) -> None:
+        """Stop a :meth:`run_in_thread` server (abrupt, crash-like)."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IngestionServer(kind={self.spec.kind!r}, "
+            f"port={self.port}, reports={self._accumulator.count})"
+        )

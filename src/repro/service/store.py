@@ -1,0 +1,103 @@
+"""Durable checkpoint/recovery of service state.
+
+A :class:`SnapshotStore` persists the full ingestion state — encoded
+accumulator statistics, accountant ledger, batch counters, processed
+idempotency keys — as numbered JSON snapshot files in one directory.
+
+Write protocol (crash-safe): serialize to ``<name>.tmp`` in the same
+directory, flush + fsync, then ``os.replace`` onto the final name.  A
+reader therefore only ever observes complete snapshots; a crash
+mid-write leaves at worst a stale ``.tmp`` file that the next save
+overwrites.  Old snapshots are pruned down to ``keep`` after every
+save, and recovery always resumes from the highest surviving sequence
+number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{10})\.json$")
+
+
+class SnapshotStore:
+    """Atomic, numbered JSON snapshots under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created if missing.
+    keep:
+        How many most-recent snapshots to retain (>= 1).
+    """
+
+    def __init__(self, directory, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    def _path(self, seq: int) -> Path:
+        return self.directory / f"snapshot-{seq:010d}.json"
+
+    def sequences(self) -> List[int]:
+        """Sequence numbers of all complete snapshots, ascending."""
+        out = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def latest_sequence(self) -> Optional[int]:
+        """Highest stored sequence number, or ``None`` when empty."""
+        seqs = self.sequences()
+        return seqs[-1] if seqs else None
+
+    # ------------------------------------------------------------------
+    def save(self, seq: int, payload: Dict[str, Any]) -> Path:
+        """Atomically write snapshot ``seq``; prunes old snapshots."""
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}")
+        final = self._path(seq)
+        tmp = final.with_suffix(".tmp")
+        data = json.dumps({"seq": int(seq), **payload})
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        for seq in self.sequences()[: -self.keep]:
+            try:
+                self._path(seq).unlink()
+            except FileNotFoundError:  # pragma: no cover - racing pruners
+                pass
+
+    # ------------------------------------------------------------------
+    def load(self, seq: int) -> Dict[str, Any]:
+        """Read one snapshot by sequence number."""
+        with open(self._path(seq), encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_latest(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """``(seq, payload)`` of the newest snapshot, or ``None``."""
+        seq = self.latest_sequence()
+        if seq is None:
+            return None
+        return seq, self.load(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SnapshotStore({str(self.directory)!r}, "
+            f"snapshots={len(self.sequences())}, keep={self.keep})"
+        )

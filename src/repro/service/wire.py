@@ -1,0 +1,317 @@
+"""Versioned wire codec for reports, estimates and accumulator state.
+
+Everything that crosses the service's network or disk boundary goes
+through this module.  Three layers:
+
+* **Arrays** — :func:`encode_array` / :func:`decode_array` carry any
+  numpy array as ``{dtype, shape, base64(raw bytes)}``; the round-trip
+  is bitwise because the raw buffer is transported untouched.
+* **Payloads** — :func:`encode_reports` / :func:`decode_reports`
+  type-tag every report container a protocol can emit (perturbed-value
+  arrays, unary bit matrices, :class:`~repro.frequency.olh.OLHReports`,
+  :class:`~repro.protocol.reports.SampledNumericReports`,
+  :class:`~repro.multidim.collector.MixedReports`);
+  :func:`encode_accumulator_state` / :func:`decode_accumulator_state`
+  do the same for ``ServerAccumulator.state_dict`` snapshots, and
+  :func:`encode_estimate` / :func:`decode_estimate` for every estimate
+  shape the accumulators produce.
+* **Envelopes** — :func:`pack` wraps a payload with the wire version
+  and the protocol *fingerprint* (a SHA-256 over the canonical spec
+  dict); :func:`unpack` rejects unknown wire versions
+  (:class:`WireFormatError`) and mismatched fingerprints
+  (:class:`SpecMismatchError`) so a stale or misconfigured client is
+  turned away instead of silently mis-aggregated.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.frequency.olh import OLHReports
+from repro.multidim.collector import MixedReports
+from repro.protocol.reports import SampledNumericReports
+from repro.protocol.spec import ProtocolSpec
+
+#: Version of the envelope + payload encoding itself (independent of
+#: the ProtocolSpec schema version).
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """Malformed or wrong-version wire data."""
+
+
+class SpecMismatchError(WireFormatError):
+    """The sender's protocol fingerprint differs from the receiver's."""
+
+
+# ----------------------------------------------------------------------
+# Arrays
+# ----------------------------------------------------------------------
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """Bitwise-exact JSON-friendly encoding of any numpy array."""
+    arr = np.asarray(arr)
+    # Shape first: ascontiguousarray promotes 0-d arrays to shape (1,).
+    shape = list(arr.shape)
+    contiguous = np.ascontiguousarray(arr)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": shape,
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(obj["shape"])
+        raw = base64.b64decode(obj["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed array payload: {exc}") from exc
+    arr = np.frombuffer(raw, dtype=dtype)
+    if arr.size != int(np.prod(shape, dtype=np.int64)):
+        raise WireFormatError(
+            f"array payload carries {arr.size} elements, shape {shape} "
+            f"needs {int(np.prod(shape, dtype=np.int64))}"
+        )
+    # frombuffer views are read-only; copy so callers can absorb freely.
+    return arr.reshape(shape).copy()
+
+
+# ----------------------------------------------------------------------
+# Report containers
+# ----------------------------------------------------------------------
+def report_count(reports) -> int:
+    """Number of reporting users in any report container."""
+    if isinstance(reports, MixedReports):
+        return int(reports.n)
+    return int(len(reports))
+
+
+def encode_reports(reports) -> Dict[str, Any]:
+    """Type-tagged encoding of any report container.
+
+    Covers every container the protocol encoders emit: plain numpy
+    arrays (numeric perturbed values, GRR integers, unary bit
+    matrices), ``OLHReports``, ``SampledNumericReports`` and
+    ``MixedReports`` (whose per-attribute categorical reports recurse
+    through this function).
+    """
+    if isinstance(reports, SampledNumericReports):
+        return {
+            "type": "sampled-numeric",
+            "d": int(reports.d),
+            "k": int(reports.k),
+            "cols": encode_array(reports.cols),
+            "values": encode_array(reports.values),
+        }
+    if isinstance(reports, OLHReports):
+        return {
+            "type": "olh",
+            "seeds": encode_array(reports.seeds),
+            "buckets": encode_array(reports.buckets),
+        }
+    if isinstance(reports, MixedReports):
+        return {
+            "type": "mixed",
+            "n": int(reports.n),
+            "numeric": encode_array(np.asarray(reports.numeric)),
+            "categorical": {
+                name: encode_reports(sub)
+                for name, sub in reports.categorical.items()
+            },
+        }
+    arr = np.asarray(reports)
+    if arr.dtype == object:
+        raise WireFormatError(
+            f"cannot encode report container of type "
+            f"{type(reports).__name__}"
+        )
+    return {"type": "array", "array": encode_array(arr)}
+
+
+def decode_reports(obj: Dict[str, Any]):
+    """Inverse of :func:`encode_reports`."""
+    kind = obj.get("type")
+    if kind == "array":
+        return decode_array(obj["array"])
+    if kind == "sampled-numeric":
+        return SampledNumericReports(
+            d=int(obj["d"]),
+            k=int(obj["k"]),
+            cols=decode_array(obj["cols"]),
+            values=decode_array(obj["values"]),
+        )
+    if kind == "olh":
+        return OLHReports(
+            seeds=decode_array(obj["seeds"]),
+            buckets=decode_array(obj["buckets"]),
+        )
+    if kind == "mixed":
+        return MixedReports(
+            n=int(obj["n"]),
+            numeric=decode_array(obj["numeric"]),
+            categorical={
+                name: decode_reports(sub)
+                for name, sub in obj["categorical"].items()
+            },
+        )
+    raise WireFormatError(f"unknown report payload type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Accumulator state + estimates
+# ----------------------------------------------------------------------
+def _encode_state_value(value):
+    if isinstance(value, np.ndarray):
+        return {"type": "array", "array": encode_array(value)}
+    if isinstance(value, dict):
+        return {
+            "type": "dict",
+            "items": {k: _encode_state_value(v) for k, v in value.items()},
+        }
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return {"type": "scalar", "value": value}
+    if isinstance(value, (np.integer, np.floating)):
+        return {"type": "scalar", "value": value.item()}
+    raise WireFormatError(
+        f"cannot encode state value of type {type(value).__name__}"
+    )
+
+
+def _decode_state_value(obj):
+    kind = obj.get("type")
+    if kind == "array":
+        return decode_array(obj["array"])
+    if kind == "dict":
+        return {k: _decode_state_value(v) for k, v in obj["items"].items()}
+    if kind == "scalar":
+        return obj["value"]
+    raise WireFormatError(f"unknown state payload type {kind!r}")
+
+
+def encode_accumulator_state(accumulator) -> Dict[str, Any]:
+    """Encode ``accumulator.state_dict()`` for wire/disk transport."""
+    return _encode_state_value(accumulator.state_dict())
+
+
+def decode_accumulator_state(accumulator, obj: Dict[str, Any]):
+    """Restore an encoded snapshot into a fresh same-protocol
+    accumulator (bitwise); returns the accumulator."""
+    return accumulator.load_state(_decode_state_value(obj))
+
+
+def encode_estimate(estimate) -> Dict[str, Any]:
+    """Type-tagged encoding of any accumulator's ``estimate()`` value."""
+    from repro.frequency.histogram import HistogramEstimate
+    from repro.multidim.aggregator import MixedEstimates
+
+    if isinstance(estimate, HistogramEstimate):
+        return {
+            "type": "histogram",
+            "histogram": encode_array(estimate.histogram),
+            "raw": encode_array(estimate.raw),
+            "edges": encode_array(estimate.edges),
+        }
+    if isinstance(estimate, MixedEstimates):
+        return {
+            "type": "mixed",
+            "means": {k: float(v) for k, v in estimate.means.items()},
+            "frequencies": {
+                k: encode_array(np.asarray(v))
+                for k, v in estimate.frequencies.items()
+            },
+        }
+    if isinstance(estimate, np.ndarray):
+        return {"type": "array", "array": encode_array(estimate)}
+    return {"type": "scalar", "value": float(estimate)}
+
+
+def decode_estimate(obj: Dict[str, Any]):
+    """Inverse of :func:`encode_estimate`.
+
+    Histogram estimates come back as full
+    :class:`~repro.frequency.histogram.HistogramEstimate` objects (CDF
+    and quantile queries work client-side), mixed estimates as
+    :class:`~repro.multidim.aggregator.MixedEstimates`.
+    """
+    from repro.frequency.histogram import HistogramEstimate
+    from repro.multidim.aggregator import MixedEstimates
+
+    kind = obj.get("type")
+    if kind == "scalar":
+        return float(obj["value"])
+    if kind == "array":
+        return decode_array(obj["array"])
+    if kind == "histogram":
+        return HistogramEstimate(
+            histogram=decode_array(obj["histogram"]),
+            raw=decode_array(obj["raw"]),
+            edges=decode_array(obj["edges"]),
+        )
+    if kind == "mixed":
+        return MixedEstimates(
+            means={k: float(v) for k, v in obj["means"].items()},
+            frequencies={
+                k: decode_array(v) for k, v in obj["frequencies"].items()
+            },
+        )
+    raise WireFormatError(f"unknown estimate payload type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def spec_fingerprint(spec: Union[ProtocolSpec, Dict[str, Any]]) -> str:
+    """SHA-256 over the canonical (sorted, compact) spec dict.
+
+    Two endpoints agree on this hex digest iff they were built from the
+    same ``ProtocolSpec`` — same kind, budget, primitives, dimensions.
+    """
+    payload = spec.to_dict() if isinstance(spec, ProtocolSpec) else spec
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def pack(payload: Dict[str, Any], fingerprint: str) -> Dict[str, Any]:
+    """Wrap a payload in the versioned, fingerprinted envelope."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "fingerprint": fingerprint,
+        "payload": payload,
+    }
+
+
+def unpack(
+    envelope: Dict[str, Any], expected_fingerprint: str
+) -> Dict[str, Any]:
+    """Validate an envelope and return its payload.
+
+    Raises :class:`WireFormatError` on a missing/unknown wire version
+    and :class:`SpecMismatchError` when the sender's protocol
+    fingerprint differs from ``expected_fingerprint``.
+    """
+    version = envelope.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire_version {version!r}; this endpoint "
+            f"speaks version {WIRE_VERSION}"
+        )
+    fingerprint = envelope.get("fingerprint")
+    if fingerprint != expected_fingerprint:
+        raise SpecMismatchError(
+            f"protocol fingerprint mismatch: sender "
+            f"{str(fingerprint)[:12]!r}... vs receiver "
+            f"{expected_fingerprint[:12]!r}... — endpoints were built "
+            f"from different ProtocolSpecs"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise WireFormatError("envelope carries no payload object")
+    return payload

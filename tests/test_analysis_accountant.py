@@ -80,3 +80,45 @@ class TestLedger:
         acc.charge("u1", 1.0)
         ledger = acc.ledger
         assert isinstance(ledger, tuple)
+
+
+class TestSerialization:
+    def _populated(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0, "mean query")
+        acc.charge("u1", 0.5, "freq query")
+        acc.charge("u2", 4.0, "sgd")
+        return acc
+
+    def test_round_trip_preserves_state(self):
+        acc = self._populated()
+        rebuilt = PrivacyAccountant.from_dict(acc.to_dict())
+        assert rebuilt.lifetime_epsilon == acc.lifetime_epsilon
+        assert rebuilt.spent("u1") == acc.spent("u1")
+        assert rebuilt.spent("u2") == acc.spent("u2")
+        assert rebuilt.ledger == acc.ledger
+        assert rebuilt.users() == acc.users()
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        acc = self._populated()
+        rebuilt = PrivacyAccountant.from_dict(
+            json.loads(json.dumps(acc.to_dict()))
+        )
+        assert rebuilt.to_dict() == acc.to_dict()
+
+    def test_rebuilt_accountant_keeps_enforcing(self):
+        acc = self._populated()
+        rebuilt = PrivacyAccountant.from_dict(acc.to_dict())
+        # u2 is exhausted in the original; stays exhausted after reload.
+        with pytest.raises(BudgetExceededError):
+            rebuilt.charge("u2", 0.5)
+        rebuilt.charge("u1", 2.5)  # exactly the remaining budget
+        assert rebuilt.remaining("u1") == pytest.approx(0.0)
+
+    def test_empty_accountant_round_trips(self):
+        acc = PrivacyAccountant(2.0)
+        rebuilt = PrivacyAccountant.from_dict(acc.to_dict())
+        assert rebuilt.to_dict() == acc.to_dict()
+        assert rebuilt.users() == ()

@@ -8,6 +8,7 @@ from repro.core.mechanism import NumericMechanism
 from repro.data.schema import CategoricalAttribute, NumericAttribute, Schema
 from repro.frequency.oracle import FrequencyOracle
 from repro.protocol import (
+    SPEC_VERSION,
     Protocol,
     ProtocolSpec,
     available_primitives,
@@ -105,15 +106,62 @@ class TestProtocolSpec:
     def test_to_dict_drops_none_fields(self):
         spec = ProtocolSpec(kind="mean", epsilon=1.0, mechanism="pm")
         assert spec.to_dict() == {
+            "spec_version": SPEC_VERSION,
             "kind": "mean",
             "epsilon": 1.0,
             "mechanism": "pm",
         }
 
-    def test_from_dict_rejects_unknown_fields(self):
-        with pytest.raises(ValueError):
+    def test_from_dict_ignores_unknown_minor_fields(self):
+        # A future minor version may add keys; this reader drops them.
+        spec = ProtocolSpec.from_dict(
+            {
+                "spec_version": "1.7",
+                "kind": "mean",
+                "epsilon": 1.0,
+                "mechanism": "pm",
+                "added_in_1_7": True,
+            }
+        )
+        assert spec == ProtocolSpec(kind="mean", epsilon=1.0, mechanism="pm")
+
+    def test_from_dict_rejects_unknown_fields_at_own_minor(self):
+        # A typo'd field in a current-version payload is a mistake,
+        # not forward-compatible growth.
+        with pytest.raises(ValueError, match="unknown spec fields"):
             ProtocolSpec.from_dict(
-                {"kind": "mean", "epsilon": 1.0, "mechanism": "pm", "x": 1}
+                {
+                    "spec_version": SPEC_VERSION,
+                    "kind": "mean",
+                    "epsilon": 1.0,
+                    "mechanism": "pm",
+                    "mechansim": "hm",  # typo: silently dropped otherwise
+                }
+            )
+
+    def test_from_dict_accepts_unversioned_payloads(self):
+        # Pre-versioning stored configs read as 1.0.
+        spec = ProtocolSpec.from_dict(
+            {"kind": "mean", "epsilon": 1.0, "mechanism": "pm"}
+        )
+        assert spec.kind == "mean"
+
+    def test_from_dict_rejects_unknown_major(self):
+        with pytest.raises(ValueError, match="major"):
+            ProtocolSpec.from_dict(
+                {
+                    "spec_version": "2.0",
+                    "kind": "mean",
+                    "epsilon": 1.0,
+                    "mechanism": "pm",
+                }
+            )
+
+    def test_from_dict_rejects_malformed_version(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ProtocolSpec.from_dict(
+                {"spec_version": "new", "kind": "mean", "epsilon": 1.0,
+                 "mechanism": "pm"}
             )
 
 

@@ -1,0 +1,171 @@
+"""Regression tests for StreamingRunner error handling + checkpoints.
+
+The bug: a batch whose *background* encode raised left the thread pool
+running and the pending queue inconsistent — the error could surface
+repeatedly (or never, if the caller stopped submitting before the
+failed future was drained).  The contract now: the error propagates
+exactly once from whichever ``submit()``/``finish()`` first observes
+it, the pool is shut down and pending batches discarded, and later
+calls raise a plain ``RuntimeError`` describing the earlier failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocol import Protocol
+from repro.runtime import StreamingRunner
+
+
+class ExplodingEncoder:
+    """Wraps a real encoder; raises on the ``fail_on``-th encode call."""
+
+    def __init__(self, protocol, fail_on):
+        self.inner = protocol.client()
+        self.fail_on = fail_on
+        self.calls = 0
+
+    def encode_batch(self, values, rng=None):
+        call = self.calls
+        self.calls += 1
+        if call == self.fail_on:
+            raise ValueError("boom: encode failed")
+        return self.inner.encode_batch(values, rng)
+
+    def new_accumulator(self):
+        return self.inner.new_accumulator()
+
+
+def _batches(n_batches=6, size=50):
+    rng = np.random.default_rng(3)
+    return [rng.uniform(-1, 1, size) for _ in range(n_batches)]
+
+
+class TestEncodeErrorPropagation:
+    def test_error_propagates_exactly_once_then_runtime_error(self):
+        encoder = ExplodingEncoder(Protocol.numeric_mean(1.0), fail_on=0)
+        runner = StreamingRunner(encoder, seed=0, max_pending=2)
+        with pytest.raises(ValueError, match="boom"):
+            for batch in _batches():
+                runner.submit(batch)
+            runner.finish()
+        # Pool shut down, queue drained/cleared — no leaked threads.
+        assert runner._pool is None
+        assert not runner._pending
+        # The original error is not re-raised; later calls get a
+        # RuntimeError that names it.
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.finish()
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.submit(_batches(1)[0])
+
+    def test_error_surfaces_from_finish_when_queue_never_fills(self):
+        encoder = ExplodingEncoder(Protocol.numeric_mean(1.0), fail_on=1)
+        runner = StreamingRunner(encoder, seed=0, max_pending=8)
+        for batch in _batches(3):
+            runner.submit(batch)  # never exceeds max_pending
+        with pytest.raises(ValueError, match="boom"):
+            runner.finish()
+        assert runner._pool is None
+        assert not runner._pending
+
+    def test_context_manager_does_not_mask_the_error(self):
+        encoder = ExplodingEncoder(Protocol.numeric_mean(1.0), fail_on=0)
+        with pytest.raises(ValueError, match="boom"):
+            with StreamingRunner(encoder, seed=0, max_pending=1) as runner:
+                for batch in _batches():
+                    runner.submit(batch)
+
+    def test_synchronous_mode_raises_directly_and_closes(self):
+        encoder = ExplodingEncoder(Protocol.numeric_mean(1.0), fail_on=0)
+        runner = StreamingRunner(encoder, seed=0, max_workers=0)
+        with pytest.raises(ValueError, match="boom"):
+            runner.submit(_batches(1)[0])
+        # Same close-after-failure contract as the pooled path.
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.submit(_batches(1)[0])
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.finish()
+
+    def test_healthy_run_unaffected(self):
+        protocol = Protocol.numeric_mean(1.0)
+        runner = StreamingRunner(protocol, seed=0, max_pending=2)
+        batches = _batches()
+        for batch in batches:
+            runner.submit(batch)
+        acc = runner.finish()
+        assert acc.count == sum(len(b) for b in batches)
+
+
+class TestCheckpointHook:
+    def test_fires_every_n_absorbed_batches(self):
+        protocol = Protocol.numeric_mean(1.0)
+        seen = []
+        runner = StreamingRunner(
+            protocol,
+            seed=0,
+            max_workers=0,
+            checkpoint_every=2,
+            on_checkpoint=lambda acc, n: seen.append((n, acc.count)),
+        )
+        for batch in _batches(5, size=10):
+            runner.submit(batch)
+        runner.finish()
+        assert [n for n, _ in seen] == [2, 4]
+        assert [count for _, count in seen] == [20, 40]
+        assert runner.batches_absorbed == 5
+
+    def test_fires_in_pooled_mode_during_drain(self):
+        protocol = Protocol.numeric_mean(1.0)
+        seen = []
+        runner = StreamingRunner(
+            protocol,
+            seed=0,
+            max_pending=2,
+            checkpoint_every=3,
+            on_checkpoint=lambda acc, n: seen.append(n),
+        )
+        for batch in _batches(7, size=10):
+            runner.submit(batch)
+        runner.finish()
+        assert seen == [3, 6]
+
+    def test_checkpoint_state_is_absorb_consistent(self):
+        # The callback sees a quiescent accumulator: restoring its
+        # snapshot and continuing matches the uninterrupted run.
+        protocol = Protocol.frequency(1.0, domain=8)
+        rng = np.random.default_rng(0)
+        batches = [rng.integers(0, 8, 40) for _ in range(4)]
+        snapshots = {}
+        runner = StreamingRunner(
+            protocol,
+            seed=5,
+            max_workers=0,
+            checkpoint_every=2,
+            on_checkpoint=lambda acc, n: snapshots.update(
+                {n: acc.state_dict()}
+            ),
+        )
+        for batch in batches:
+            runner.submit(batch)
+        full = runner.finish()
+
+        resumed = protocol.server().load_state(snapshots[2])
+        root = np.random.SeedSequence(5)
+        encoder = protocol.client()
+        streams = [
+            np.random.default_rng(root.spawn(1)[0]) for _ in batches
+        ]
+        for batch, stream in zip(batches[2:], streams[2:]):
+            resumed.absorb(encoder.encode_batch(batch, stream))
+        np.testing.assert_array_equal(
+            resumed.estimate(), full.estimate()
+        )
+
+    def test_validation(self):
+        protocol = Protocol.numeric_mean(1.0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            StreamingRunner(
+                protocol, checkpoint_every=0, on_checkpoint=lambda a, n: None
+            )
+        with pytest.raises(ValueError, match="on_checkpoint"):
+            StreamingRunner(protocol, checkpoint_every=2)

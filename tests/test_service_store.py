@@ -1,0 +1,125 @@
+"""SnapshotStore tests: atomicity, pruning, recovery ordering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.protocol import Protocol
+from repro.service import wire
+from repro.service.store import SnapshotStore
+
+
+class TestSnapshotStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        payload = {"fingerprint": "abc", "value": [1, 2, 3]}
+        path = store.save(4, payload)
+        assert path.exists()
+        loaded = store.load(4)
+        assert loaded["seq"] == 4
+        assert loaded["value"] == [1, 2, 3]
+
+    def test_latest_picks_highest_sequence(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=10)
+        for seq in (1, 5, 3):
+            store.save(seq, {"marker": seq})
+        assert store.latest_sequence() == 5
+        seq, payload = store.load_latest()
+        assert seq == 5 and payload["marker"] == 5
+
+    def test_empty_store(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.latest_sequence() is None
+        assert store.load_latest() is None
+
+    def test_prunes_to_keep(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in range(5):
+            store.save(seq, {})
+        assert store.sequences() == [3, 4]
+
+    def test_no_partial_snapshot_visible(self, tmp_path):
+        """A leftover .tmp from a crashed write is never read."""
+        store = SnapshotStore(tmp_path)
+        store.save(1, {"ok": True})
+        # Simulate a crash mid-write of snapshot 2.
+        (tmp_path / "snapshot-0000000002.tmp").write_text('{"seq": 2, "tru')
+        assert store.sequences() == [1]
+        assert store.load_latest()[0] == 1
+        # The next save of seq 2 overwrites the junk and completes.
+        store.save(2, {"ok": True})
+        assert store.load(2)["ok"] is True
+
+    def test_saved_file_is_complete_json(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.save(7, {"blob": "x" * 100_000})
+        assert json.loads(path.read_text())["blob"] == "x" * 100_000
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path, keep=0)
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save(-1, {})
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        SnapshotStore(nested).save(0, {})
+        assert nested.exists()
+
+
+class TestResumeEquality:
+    """Resume-from-snapshot is bitwise-equal to an uninterrupted run."""
+
+    @pytest.mark.parametrize(
+        "factory, values_of",
+        [
+            (
+                lambda: Protocol.frequency(1.0, domain=16),
+                lambda rng, n: rng.integers(0, 16, n),
+            ),
+            (
+                lambda: Protocol.multidim(4.0, d=5, mechanism="hm"),
+                lambda rng, n: rng.uniform(-1, 1, (n, 5)),
+            ),
+        ],
+    )
+    def test_checkpoint_resume_bitwise(self, tmp_path, factory, values_of):
+        protocol = factory()
+        store = SnapshotStore(tmp_path)
+        encoder = protocol.client()
+        rng = np.random.default_rng(0)
+        batches = [
+            encoder.encode_batch(
+                values_of(rng, 200), np.random.default_rng(seed)
+            )
+            for seed in range(6)
+        ]
+
+        uninterrupted = protocol.server()
+        for batch in batches:
+            uninterrupted.absorb(batch)
+
+        # First process: absorb 3 batches, checkpoint, "crash".
+        first = protocol.server()
+        for batch in batches[:3]:
+            first.absorb(batch)
+        store.save(3, {"accumulator": wire.encode_accumulator_state(first)})
+        del first
+
+        # Second process: recover from disk, absorb the rest.
+        seq, snapshot = store.load_latest()
+        assert seq == 3
+        resumed = wire.decode_accumulator_state(
+            protocol.server(),
+            json.loads(json.dumps(snapshot["accumulator"])),
+        )
+        for batch in batches[3:]:
+            resumed.absorb(batch)
+
+        assert resumed.count == uninterrupted.count
+        np.testing.assert_array_equal(
+            np.asarray(resumed.estimate()),
+            np.asarray(uninterrupted.estimate()),
+        )
