@@ -25,6 +25,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -96,11 +97,113 @@ def _run_ingest(protocol, batches, store=None, checkpoint_every=None):
     return elapsed, estimate
 
 
-def bench_workloads(n: int) -> dict:
+def _run_multi_campaign(workloads, store=None, checkpoint_every=None):
+    """All workloads on ONE server as concurrent campaigns, one client
+    thread per campaign, over one shared user population."""
+    protocols = [spec["protocol"] for spec in workloads.values()]
+    lifetime = sum(p.spec.epsilon for p in protocols)
+    server = IngestionServer(
+        protocols[0],
+        lifetime_epsilon=lifetime,
+        campaigns=[p.spec for p in protocols[1:]],
+        store=store,
+        checkpoint_every=checkpoint_every,
+    ).run_in_thread()
+    try:
+        base = ServiceClient("127.0.0.1", server.port)
+        clients = {
+            name: base.for_campaign(spec["protocol"].spec)
+            for name, spec in workloads.items()
+        }
+        for client in clients.values():
+            client.fetch_spec()  # outside the timed window
+        errors = []
+
+        def _pump(name):
+            try:
+                for reports, users in workloads[name]["batches"]:
+                    clients[name].submit_reports(reports, users)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=_pump, args=(name,))
+            for name in workloads
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise AssertionError(f"multi-campaign ingest failed: {errors}")
+        estimates = {
+            name: _estimate_array(client.estimate())
+            for name, client in clients.items()
+        }
+    finally:
+        server.stop()
+    return elapsed, estimates
+
+
+def bench_multi_campaign(workloads, n: int) -> dict:
+    """Concurrent campaigns sharing one server and one global ledger."""
+    references = {}
+    for name, spec in workloads.items():
+        reference = spec["protocol"].server()
+        for reports, _ in spec["batches"]:
+            reference.absorb(reports)
+        references[name] = _estimate_array(reference.estimate())
+
+    plain_s, plain_estimates = _run_multi_campaign(workloads)
+    with tempfile.TemporaryDirectory() as tmp:
+        durable_s, durable_estimates = _run_multi_campaign(
+            workloads,
+            store=SnapshotStore(tmp),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+
+    for name, reference in references.items():
+        if not (
+            np.array_equal(plain_estimates[name], reference)
+            and np.array_equal(durable_estimates[name], reference)
+        ):
+            raise AssertionError(
+                f"multi-campaign: campaign {name!r} diverged from its "
+                f"single-campaign reference absorb"
+            )
+
+    total = n * len(workloads)
+    print(
+        f"{'multi-campaign':>16}: {total / plain_s:>10.0f} reports/s plain, "
+        f"{total / durable_s:>10.0f} reports/s with checkpoints "
+        f"every {CHECKPOINT_EVERY} batches "
+        f"[{len(workloads)} campaigns, bitwise ok]"
+    )
+    return {
+        "campaigns": sorted(workloads),
+        "n_per_campaign": n,
+        "total_reports": total,
+        "batch_size": BATCH_SIZE,
+        "bitwise_equal_to_local": True,
+        "ingest": {
+            "seconds": plain_s,
+            "reports_per_second": total / plain_s,
+        },
+        "ingest_with_checkpoints": {
+            "seconds": durable_s,
+            "reports_per_second": total / durable_s,
+            "checkpoint_every_batches": CHECKPOINT_EVERY,
+            "overhead_vs_plain": durable_s / plain_s,
+        },
+    }
+
+
+def bench_workloads(workloads, n: int) -> dict:
     out = {}
-    for name, spec in _workloads(n).items():
-        protocol, values = spec["protocol"], spec["values"]
-        batches = _encode_batches(protocol, values, n)
+    for name, spec in workloads.items():
+        protocol, batches = spec["protocol"], spec["batches"]
 
         reference = protocol.server()
         for reports, _ in batches:
@@ -160,12 +263,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     n = args.n if args.n is not None else (10_000 if args.smoke else 100_000)
+    workloads = _workloads(n)
+    for spec in workloads.values():
+        spec["batches"] = _encode_batches(spec["protocol"], spec["values"], n)
     results = {
         "benchmark": "service_ingest",
         "smoke": bool(args.smoke),
         "cpu_count": os.cpu_count(),
         "batch_size": BATCH_SIZE,
-        "workloads": bench_workloads(n),
+        "workloads": bench_workloads(workloads, n),
+        "multi_campaign": bench_multi_campaign(workloads, n),
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(results, indent=2) + "\n")

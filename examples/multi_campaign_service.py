@@ -1,0 +1,150 @@
+"""Two concurrent collection campaigns over one user population,
+sharing a single global privacy budget.
+
+Scenario: a product team runs an A/B experiment (frequency oracle over
+four arms) while the telemetry team measures session length (numeric
+mean) — on the *same* users, through the *same* aggregator.  The
+deployment
+
+1. boots one multi-campaign server with a durable snapshot store and a
+   global per-user budget covering both collections,
+2. registers the A/B campaign at runtime (`POST /campaigns`; the
+   telemetry spec is the server's default campaign),
+3. ingests both collections concurrently from threaded clients — the
+   cross-campaign ledger charges every accepted report against the one
+   global budget, so a user exhausted by both campaigns is rejected by
+   a third with HTTP 429,
+4. crashes the server mid-run and resumes — all campaigns, lifecycle
+   states, and the ledger come back bitwise from the snapshot, and
+5. seals the A/B campaign and publishes its final estimate (late
+   reports get HTTP 409).
+
+Run:  PYTHONPATH=src python examples/multi_campaign_service.py
+"""
+
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.protocol import Protocol
+from repro.service import (
+    CampaignClosedError,
+    IngestionServer,
+    OverBudgetError,
+    ServiceClient,
+    SnapshotStore,
+)
+
+AB_EPSILON = 1.0  # frequency campaign: which arm did the user see?
+TELEMETRY_EPSILON = 1.0  # mean campaign: normalized session length
+LIFETIME_EPSILON = AB_EPSILON + TELEMETRY_EPSILON  # room for both
+N_USERS = 20_000
+BATCHES = 4
+
+
+def _boot(telemetry, snapshot_dir):
+    server = IngestionServer(
+        telemetry,
+        lifetime_epsilon=LIFETIME_EPSILON,
+        store=SnapshotStore(snapshot_dir),
+        checkpoint_every=1,
+    ).run_in_thread()
+    return server, ServiceClient("127.0.0.1", server.port)
+
+
+def main():
+    rng = np.random.default_rng(23)
+    arms = rng.integers(0, 4, N_USERS)
+    sessions = rng.uniform(-1, 1, N_USERS)
+    users = [f"user-{i}" for i in range(N_USERS)]
+
+    # ---- 1. one server, two tenants -----------------------------------
+    telemetry = Protocol.numeric_mean(TELEMETRY_EPSILON, "hm")
+    ab_test = Protocol.frequency(AB_EPSILON, domain=4)
+    snapshot_dir = tempfile.mkdtemp(prefix="ldp-campaigns-")
+    server, client = _boot(telemetry, snapshot_dir)
+    print(f"server: default campaign {telemetry.spec.kind!r} on port "
+          f"{server.port}; global budget eps={LIFETIME_EPSILON:g}/user")
+
+    # ---- 2. register the A/B campaign at runtime ----------------------
+    registered = client.register_campaign(ab_test.spec)
+    print(f"registered A/B campaign {registered['campaign'][:12]}... "
+          f"(created={registered['created']}, state={registered['state']})")
+    ab_client = client.for_campaign(registered["campaign"])
+
+    # ---- 3. concurrent ingest, one shared ledger ----------------------
+    per_batch = N_USERS // BATCHES
+
+    def _pump(bound, values, tag):
+        for b in range(BATCHES):
+            lo = b * per_batch
+            bound.submit(values[lo : lo + per_batch],
+                         users=users[lo : lo + per_batch],
+                         rng=100 + b)
+        print(f"  {tag}: {BATCHES} batches x {per_batch} users ingested")
+
+    threads = [
+        threading.Thread(target=_pump,
+                         args=(client, sessions, "telemetry")),
+        threading.Thread(target=_pump, args=(ab_client, arms, "a/b")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    health = client.healthz()
+    print(f"healthz: {health['reports']} reports across "
+          f"{len(health['campaigns'])} campaigns, "
+          f"{health['users_charged']} users charged")
+
+    # Every user has now spent the full global budget: a THIRD campaign
+    # cannot touch them, even though it never saw them before.
+    survey = client.register_campaign(
+        Protocol.numeric_mean(0.5, "pm").spec
+    )
+    try:
+        client.for_campaign(survey["campaign"]).submit(
+            sessions[:5], users=users[:5], rng=7
+        )
+        raise AssertionError("expected a cross-campaign 429")
+    except OverBudgetError as exc:
+        print(f"cross-campaign budget: survey batch rejected whole "
+              f"(HTTP {exc.status}, {len(exc.rejected_users)} users "
+              f"over the GLOBAL budget)")
+
+    # ---- 4. kill-and-resume restores every tenant ---------------------
+    before_ab = np.asarray(ab_client.estimate())
+    before_mean = client.estimate()
+    server.stop()  # abrupt: no farewell checkpoint
+    server, client = _boot(telemetry, snapshot_dir)
+    ab_client = client.for_campaign(registered["campaign"])
+    identical = bool(
+        np.array_equal(before_ab, np.asarray(ab_client.estimate()))
+        and before_mean == client.estimate()
+    )
+    print(f"crash + resume: {client.healthz()['reports']} reports "
+          f"intact across campaigns (estimates identical: {identical})")
+
+    # ---- 5. seal the experiment, publish its final estimate -----------
+    ab_client.seal_campaign()
+    try:
+        ab_client.submit(arms[:5], users=["late-user"] * 5, rng=9)
+        raise AssertionError("expected a sealed-campaign rejection")
+    except CampaignClosedError as exc:
+        print(f"sealed: late A/B report refused (HTTP {exc.status})")
+    final = ab_client.estimate_info()
+    true_shares = np.bincount(arms, minlength=4) / N_USERS
+    print(f"\nA/B campaign final (state={final['state']}, "
+          f"final={final['final']}, n={final['reports']}):")
+    for arm, (est, truth) in enumerate(
+        zip(np.asarray(final["estimate"]), true_shares)
+    ):
+        print(f"  arm {arm}: {est:+.4f}  true {truth:+.4f}")
+
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

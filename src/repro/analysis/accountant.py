@@ -72,19 +72,50 @@ class PrivacyAccountant:
         return self.remaining(user)
 
     def charge_group(
-        self, users, epsilon: float, label: str = ""
+        self, users, epsilon: float, label: str = "", atomic: bool = False
     ) -> Tuple[str, ...]:
         """Charge every user that still has room; returns those charged.
 
         This is the SGD recruitment pattern: only users with budget left
-        may join an iteration's group."""
+        may join an iteration's group.
+
+        With ``atomic=True`` the group is all-or-nothing: if any user
+        (at multiplicity — the same name twice must afford 2x) cannot
+        cover the charge, every charge already applied for this group
+        is rolled back and :class:`BudgetExceededError` is raised, so a
+        partial failure can never leave the ledger half-charged.
+        """
         epsilon = check_epsilon(epsilon)
         charged = []
-        for user in users:
-            if self.can_charge(user, epsilon):
+        try:
+            for user in users:
+                if not self.can_charge(user, epsilon):
+                    if atomic:
+                        raise BudgetExceededError(
+                            f"user {user!r}: group charge {epsilon:g} "
+                            f"exceeds remaining budget "
+                            f"{self.remaining(user):g} (lifetime "
+                            f"{self.lifetime_epsilon:g})"
+                        )
+                    continue
                 self.charge(user, epsilon, label)
                 charged.append(user)
+        except BudgetExceededError:
+            if not atomic:  # pragma: no cover - charge() was pre-checked
+                raise
+            self._rollback(len(charged))
+            raise
         return tuple(charged)
+
+    def _rollback(self, n: int) -> None:
+        """Undo the last ``n`` recorded charges (atomic-group failure)."""
+        for _ in range(n):
+            undone = self._ledger.pop()
+            remaining = self.spent(undone.user) - undone.epsilon
+            if remaining <= 0.0:
+                del self._spent[undone.user]
+            else:
+                self._spent[undone.user] = remaining
 
     # ------------------------------------------------------------------
     @property
@@ -95,6 +126,21 @@ class PrivacyAccountant:
     def total_spent(self) -> float:
         """Sum of eps across all users (a deployment-level cost figure)."""
         return float(sum(self._spent.values()))
+
+    def spent_by_label(self, user: str) -> Dict[str, float]:
+        """Breakdown of ``user``'s spend by charge label.
+
+        Labels are whatever callers recorded — query names for ad-hoc
+        analysis, campaign fingerprints for the service's
+        cross-campaign ledger.  Keys appear in first-charge order.
+        """
+        breakdown: Dict[str, float] = {}
+        for charge in self._ledger:
+            if charge.user == user:
+                breakdown[charge.label] = (
+                    breakdown.get(charge.label, 0.0) + charge.epsilon
+                )
+        return breakdown
 
     def users(self) -> Tuple[str, ...]:
         """Every user with at least one recorded charge."""

@@ -1,0 +1,76 @@
+"""Campaign lifecycle state machine.
+
+A collection campaign moves one way through three states:
+
+    open ──seal──▶ sealed ──estimate──▶ estimated
+
+* **open** — accepting reports.  Estimates may be served but are
+  *non-final*: more reports can still arrive.
+* **sealed** — closed to ingestion (a report addressed at a sealed
+  campaign is a 409, never silently dropped); the aggregate is frozen.
+* **estimated** — a final estimate has been served from the frozen
+  aggregate.  Terminal.
+
+Transitions are validated centrally by :func:`check_transition` so the
+server, the registry, and snapshot restoration all enforce the same
+graph; an illegal jump raises :class:`InvalidTransitionError` instead
+of corrupting a campaign's history.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+
+class InvalidTransitionError(RuntimeError):
+    """An illegal campaign state transition was requested."""
+
+
+class CampaignState(str, Enum):
+    """Lifecycle states of one collection campaign."""
+
+    OPEN = "open"
+    SEALED = "sealed"
+    ESTIMATED = "estimated"
+
+    @classmethod
+    def coerce(cls, value: Union["CampaignState", str]) -> "CampaignState":
+        """Accept a state or its string name (snapshot payloads)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise InvalidTransitionError(
+                f"unknown campaign state {value!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+#: Allowed forward edges of the lifecycle graph.
+TRANSITIONS = {
+    CampaignState.OPEN: frozenset({CampaignState.SEALED}),
+    CampaignState.SEALED: frozenset({CampaignState.ESTIMATED}),
+    CampaignState.ESTIMATED: frozenset(),
+}
+
+
+def check_transition(
+    current: CampaignState, target: CampaignState
+) -> CampaignState:
+    """Validate ``current -> target``; returns ``target``.
+
+    Self-transitions are allowed (sealing a sealed campaign is an
+    idempotent no-op), every other edge must be in :data:`TRANSITIONS`.
+    """
+    current = CampaignState.coerce(current)
+    target = CampaignState.coerce(target)
+    if target is current:
+        return target
+    if target not in TRANSITIONS[current]:
+        raise InvalidTransitionError(
+            f"cannot move a campaign from {current.value!r} to "
+            f"{target.value!r}; lifecycle is open -> sealed -> estimated"
+        )
+    return target

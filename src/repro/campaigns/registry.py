@@ -1,0 +1,266 @@
+"""Campaign registry: many concurrent collections on one server.
+
+A :class:`Campaign` bundles everything one collection owns — its
+:class:`~repro.protocol.facade.Protocol`, its single
+:class:`~repro.protocol.accumulators.ServerAccumulator`, its
+idempotency-key set, its lifecycle state, and its counters.  The
+:class:`CampaignRegistry` keys campaigns by the SHA-256 fingerprint of
+their canonical spec dict (the same fingerprint the wire envelope
+carries), so the campaign *id* and the spec-integrity check are one
+value: addressing a campaign with the wrong spec is structurally
+impossible to do silently.
+
+What campaigns deliberately do **not** own is a privacy accountant —
+budget is a property of the *user*, not the collection, and lives in
+the one :class:`~repro.campaigns.ledger.CrossCampaignLedger` shared by
+every campaign on the server.
+
+The service's wire codec is imported lazily inside methods: ``campaigns``
+sits below ``service`` in the import graph (``service.server`` imports
+this module at top), so a module-level import back into
+``repro.service`` would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.campaigns.lifecycle import CampaignState, check_transition
+from repro.protocol.facade import Protocol
+from repro.protocol.spec import ProtocolSpec
+
+
+class UnknownCampaignError(KeyError):
+    """No campaign registered under the requested fingerprint."""
+
+
+class CampaignSealedError(RuntimeError):
+    """A report was addressed at a campaign that no longer ingests."""
+
+
+class Campaign:
+    """One collection: a protocol, its accumulator, and its lifecycle.
+
+    Parameters
+    ----------
+    protocol_or_spec:
+        A :class:`Protocol`, :class:`ProtocolSpec`, or spec dict.
+    default:
+        Whether v1 (campaign-unaware) envelopes route here.
+    """
+
+    def __init__(
+        self,
+        protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
+        default: bool = False,
+    ):
+        from repro.service.wire import spec_fingerprint
+
+        if isinstance(protocol_or_spec, Protocol):
+            self.protocol = protocol_or_spec
+        else:
+            self.protocol = Protocol.from_spec(protocol_or_spec)
+        self.spec = self.protocol.spec
+        self.fingerprint = spec_fingerprint(self.spec)
+        self.default = bool(default)
+        self.state = CampaignState.OPEN
+        self.accumulator = self.protocol.server()
+        self.seen_keys: set = set()
+        self.batches_accepted = 0
+        self.duplicates = 0
+        # Sequence of the last namespaced snapshot holding this
+        # campaign's accumulator; None until first saved.  Dirty means
+        # state has changed since then and the next checkpoint must
+        # rewrite it.
+        self.saved_seq: Optional[int] = None
+        self.dirty = True
+
+    # ------------------------------------------------------------------
+    @property
+    def reports(self) -> int:
+        """Reports absorbed so far."""
+        return int(self.accumulator.count)
+
+    @property
+    def accepts_reports(self) -> bool:
+        return self.state is CampaignState.OPEN
+
+    def seal(self) -> CampaignState:
+        """``open -> sealed`` (idempotent on sealed/estimated)."""
+        if self.state is not CampaignState.ESTIMATED:
+            self.state = check_transition(self.state, CampaignState.SEALED)
+            self.dirty = True
+        return self.state
+
+    def mark_estimated(self) -> CampaignState:
+        """``sealed -> estimated`` — called when a final estimate is
+        served; estimating an *open* campaign is allowed but non-final
+        and does not transition."""
+        self.state = check_transition(self.state, CampaignState.ESTIMATED)
+        self.dirty = True
+        return self.state
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly public listing entry (``GET /campaigns``)."""
+        return {
+            "campaign": self.fingerprint,
+            "kind": self.spec.kind,
+            "epsilon": self.spec.epsilon,
+            "state": self.state.value,
+            "final": self.state is not CampaignState.OPEN,
+            "default": self.default,
+            "reports": self.reports,
+            "batches_accepted": self.batches_accepted,
+            "duplicates": self.duplicates,
+        }
+
+    def manifest_entry(self) -> Dict[str, Any]:
+        """Metadata recorded in the root snapshot manifest (everything
+        except the accumulator payload, which lives in this campaign's
+        own snapshot namespace)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "state": self.state.value,
+            "default": self.default,
+            "batches_accepted": self.batches_accepted,
+            "duplicates": self.duplicates,
+            "seq": self.saved_seq,
+        }
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """Wire-encoded accumulator state + idempotency keys."""
+        from repro.service.wire import encode_accumulator_state
+
+        return {
+            "fingerprint": self.fingerprint,
+            "accumulator": encode_accumulator_state(self.accumulator),
+            "idempotency_keys": sorted(self.seen_keys),
+        }
+
+    def restore(
+        self, manifest: Dict[str, Any], payload: Dict[str, Any]
+    ) -> "Campaign":
+        """Load the state a manifest entry + namespaced snapshot carry."""
+        from repro.service.wire import (
+            SpecMismatchError,
+            decode_accumulator_state,
+        )
+
+        if payload.get("fingerprint") != self.fingerprint:
+            raise SpecMismatchError(
+                f"campaign snapshot was written by "
+                f"{str(payload.get('fingerprint'))[:12]!r}..., not "
+                f"{self.fingerprint[:12]!r}..."
+            )
+        decode_accumulator_state(self.accumulator, payload["accumulator"])
+        self.seen_keys = set(payload.get("idempotency_keys", []))
+        self.state = CampaignState.coerce(manifest["state"])
+        self.default = bool(manifest.get("default", self.default))
+        self.batches_accepted = int(manifest["batches_accepted"])
+        self.duplicates = int(manifest.get("duplicates", 0))
+        self.saved_seq = manifest.get("seq")
+        self.dirty = False
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Campaign({self.spec.kind!r}, "
+            f"fingerprint={self.fingerprint[:12]}..., "
+            f"state={self.state.value}, reports={self.reports})"
+        )
+
+
+class CampaignRegistry:
+    """All campaigns one server instance is running, by fingerprint."""
+
+    def __init__(self):
+        self._campaigns: Dict[str, Campaign] = {}
+        self._default: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
+        default: bool = False,
+    ) -> tuple:
+        """Add a campaign; returns ``(campaign, created)``.
+
+        Registration is idempotent by fingerprint: re-registering an
+        existing spec returns the live campaign untouched (its
+        accumulated reports, state and keys are kept).
+        """
+        campaign = Campaign(protocol_or_spec, default=default)
+        existing = self._campaigns.get(campaign.fingerprint)
+        if existing is not None:
+            if default and self._default is None:
+                existing.default = True
+                self._default = existing.fingerprint
+            return existing, False
+        if default:
+            if self._default is not None:
+                raise ValueError(
+                    "registry already has a default campaign "
+                    f"({self._default[:12]}...)"
+                )
+            self._default = campaign.fingerprint
+        self._campaigns[campaign.fingerprint] = campaign
+        return campaign, True
+
+    def get(self, fingerprint: str) -> Campaign:
+        try:
+            return self._campaigns[fingerprint]
+        except KeyError:
+            raise UnknownCampaignError(
+                f"no campaign registered under fingerprint "
+                f"{str(fingerprint)[:12]!r}..."
+            ) from None
+
+    def resolve(self, fingerprint: Optional[str]) -> Campaign:
+        """Route an envelope: explicit fingerprint, or the default
+        campaign when the sender is campaign-unaware (v1 client)."""
+        if fingerprint is not None:
+            return self.get(fingerprint)
+        if self._default is None:
+            raise UnknownCampaignError(
+                "envelope names no campaign and this server has no "
+                "default campaign"
+            )
+        return self._campaigns[self._default]
+
+    @property
+    def default(self) -> Optional[Campaign]:
+        if self._default is None:
+            return None
+        return self._campaigns[self._default]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._campaigns
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    def __iter__(self) -> Iterator[Campaign]:
+        return iter(self._campaigns.values())
+
+    def fingerprints(self) -> List[str]:
+        return list(self._campaigns)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Public listing, default campaign first then by fingerprint."""
+        return [
+            c.describe()
+            for c in sorted(
+                self._campaigns.values(),
+                key=lambda c: (not c.default, c.fingerprint),
+            )
+        ]
+
+    def total_reports(self) -> int:
+        return sum(c.reports for c in self._campaigns.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CampaignRegistry(campaigns={len(self._campaigns)}, "
+            f"default={self._default and self._default[:12]})"
+        )

@@ -1,26 +1,39 @@
 """Networked LDP collection service.
 
 The deployment layer the paper assumes: clients perturb locally and
-submit over HTTP; a remote aggregator enforces per-user privacy budgets
-at ingestion, folds reports through the mergeable accumulators, and
-checkpoints durable state so a crash never loses the aggregate.
+submit over HTTP; a remote aggregator runs many concurrent collection
+*campaigns*, enforces one global per-user privacy budget across all of
+them at ingestion, folds reports through the mergeable accumulators,
+and checkpoints durable state so a crash never loses the aggregate.
 
 * :mod:`repro.service.wire` — versioned, fingerprinted codec for every
-  report container, accumulator snapshot, and estimate.
-* :mod:`repro.service.store` — atomic snapshot files with
-  resume-from-latest recovery.
+  report container, accumulator snapshot, and estimate; envelopes may
+  address a campaign.
+* :mod:`repro.service.store` — atomic snapshot files with namespaces
+  and resume-from-latest recovery.
 * :mod:`repro.service.server` — stdlib asyncio HTTP ingestion server
-  (``POST /report``, ``GET /estimate``, ``GET /spec``,
-  ``GET /healthz``).
-* :mod:`repro.service.client` — SDK that encodes on-device and submits
-  with retry-safe idempotency keys.
+  (``POST /report``, ``POST /campaigns``, ``GET /estimate``,
+  ``GET /spec``, ``GET /campaigns``, ``GET /healthz``), routing
+  through :mod:`repro.campaigns`.
+* :mod:`repro.service.client` — SDK that encodes on-device, submits
+  with retry-safe idempotency keys and bounded-backoff transport
+  retries, and binds to campaigns via ``for_campaign``.
 
-Serve a deployment config with ``python -m repro.service --spec
-spec.json``; see DESIGN.md ("The service layer") for the envelope
-format, checkpoint policy and budget-enforcement semantics.
+Serve deployment configs with ``python -m repro.service --spec
+spec.json`` (single default campaign) or ``--campaigns specs/*.json``
+(multi-tenant); see DESIGN.md ("The campaign layer") for lifecycle,
+ledger invariants and wire/versioning notes.
 """
 
+from repro.campaigns import (
+    Campaign,
+    CampaignRegistry,
+    CampaignState,
+    CrossCampaignLedger,
+    UnknownCampaignError,
+)
 from repro.service.client import (
+    CampaignClosedError,
     OverBudgetError,
     ServiceClient,
     ServiceError,
@@ -35,6 +48,7 @@ from repro.service.wire import (
     decode_reports,
     encode_estimate,
     encode_reports,
+    envelope_campaign,
     pack,
     spec_fingerprint,
     unpack,
@@ -42,17 +56,24 @@ from repro.service.wire import (
 
 __all__ = [
     "WIRE_VERSION",
+    "Campaign",
+    "CampaignClosedError",
+    "CampaignRegistry",
+    "CampaignState",
+    "CrossCampaignLedger",
     "IngestionServer",
     "OverBudgetError",
     "ServiceClient",
     "ServiceError",
     "SnapshotStore",
     "SpecMismatchError",
+    "UnknownCampaignError",
     "WireFormatError",
     "decode_estimate",
     "decode_reports",
     "encode_estimate",
     "encode_reports",
+    "envelope_campaign",
     "pack",
     "spec_fingerprint",
     "unpack",

@@ -1,15 +1,27 @@
-"""``python -m repro.service`` — serve one protocol from a spec file.
+"""``python -m repro.service`` — serve one or many campaigns.
+
+Single-campaign (v1 compatible — the spec becomes the *default*
+campaign, so campaign-unaware clients keep working):
 
     python -m repro.service --spec spec.json --port 8321 \
         --snapshot-dir ./snapshots --checkpoint-every 100
 
-The spec file is ``ProtocolSpec.to_dict()`` JSON, e.g.:
+Multi-campaign (shell globs expand to one campaign per file):
+
+    python -m repro.service --campaigns specs/*.json \
+        --lifetime-epsilon 2.0 --snapshot-dir ./snapshots
+
+Each spec file is ``ProtocolSpec.to_dict()`` JSON, e.g.:
 
     {"spec_version": "1.0", "kind": "mean", "epsilon": 1.0,
      "mechanism": "hm"}
 
-With ``--snapshot-dir`` the server checkpoints periodically and resumes
-from the latest snapshot on restart.
+``--spec`` and ``--campaigns`` combine: the former is the default
+campaign, the latter are addressable by fingerprint only.  Further
+campaigns can always be registered at runtime via ``POST /campaigns``.
+With ``--snapshot-dir`` the server checkpoints periodically and
+resumes *all* campaigns plus the cross-campaign ledger from the latest
+manifest on restart.
 """
 
 from __future__ import annotations
@@ -26,12 +38,21 @@ from repro.service.store import SnapshotStore
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Networked LDP ingestion server for one protocol.",
+        description="Networked LDP ingestion server (multi-campaign).",
     )
     parser.add_argument(
         "--spec",
-        required=True,
-        help="path to a ProtocolSpec.to_dict() JSON file",
+        default=None,
+        help="path to the DEFAULT campaign's ProtocolSpec.to_dict() "
+        "JSON file (v1 clients route here)",
+    )
+    parser.add_argument(
+        "--campaigns",
+        nargs="+",
+        default=[],
+        metavar="SPEC_JSON",
+        help="additional campaign spec files (e.g. specs/*.json); each "
+        "is registered under its fingerprint",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321)
@@ -39,7 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--lifetime-epsilon",
         type=float,
         default=None,
-        help="per-user lifetime budget cap (default: the spec's epsilon)",
+        help="per-user GLOBAL budget cap shared across all campaigns "
+        "(default: the default campaign's epsilon, else the max over "
+        "--campaigns)",
     )
     parser.add_argument(
         "--snapshot-dir",
@@ -58,15 +81,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    with open(args.spec, encoding="utf-8") as handle:
-        spec = json.load(handle)
+    if args.spec is None and not args.campaigns:
+        build_parser().error(
+            "at least one of --spec / --campaigns is required"
+        )
+
+    def _load(path):
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    default_spec = _load(args.spec) if args.spec is not None else None
+    campaign_specs = [_load(path) for path in args.campaigns]
     store = (
         SnapshotStore(args.snapshot_dir)
         if args.snapshot_dir is not None
         else None
     )
     server = IngestionServer(
-        spec,
+        default_spec,
         lifetime_epsilon=args.lifetime_epsilon,
         store=store,
         checkpoint_every=(
@@ -74,18 +106,33 @@ def main(argv=None) -> int:
         ),
         host=args.host,
         port=args.port,
+        campaigns=campaign_specs,
     )
 
     async def _serve() -> None:
         await server.start()
+        default = server.registry.default
+        headline = (
+            f"{default.spec.kind!r} default campaign"
+            if default is not None
+            else f"{len(server.registry)} campaigns, no default"
+        )
         print(
-            f"repro.service: {server.spec.kind!r} protocol on "
+            f"repro.service: {headline} on "
             f"http://{server.host}:{server.port} "
-            f"(fingerprint {server.fingerprint[:12]}..., "
+            f"(lifetime eps {server.ledger.lifetime_epsilon:g}, "
             f"checkpoints: "
             f"{store.directory if store else 'disabled'})",
             flush=True,
         )
+        for campaign in server.registry:
+            print(
+                f"repro.service:   campaign {campaign.fingerprint[:12]}... "
+                f"kind={campaign.spec.kind} eps={campaign.spec.epsilon:g} "
+                f"state={campaign.state.value}"
+                f"{' [default]' if campaign.default else ''}",
+                flush=True,
+            )
         await server.serve_forever()
 
     try:

@@ -10,10 +10,20 @@ Submission is retry-safe: every batch carries an idempotency key
 (caller-supplied or derived deterministically from the report bytes),
 so a retry after a lost response cannot double-count the batch — the
 server answers ``duplicate`` for a key it has already folded in.
+Transport retries use bounded exponential backoff with jitter and
+cover both connection failures and 5xx responses.
+
+A client is bound to at most one campaign.  Constructed bare it talks
+to the server's *default* campaign (the pre-campaign v1 behavior);
+:meth:`ServiceClient.for_campaign` returns a sibling bound to a
+specific campaign fingerprint:
 
     client = ServiceClient("127.0.0.1", 8321)
-    response = client.submit(values, users=user_ids, rng=7)
-    estimate = client.estimate()
+    registered = client.register_campaign(spec)
+    ab_test = client.for_campaign(registered["campaign"])
+    ab_test.submit(values, users=user_ids, rng=7)
+    ab_test.seal_campaign()
+    estimate = ab_test.estimate()
 """
 
 from __future__ import annotations
@@ -21,22 +31,32 @@ from __future__ import annotations
 import hashlib
 import http.client
 import json
+import random
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.protocol.facade import Protocol
+from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
 from repro.utils.rng import RngLike
 
 
 class ServiceError(RuntimeError):
-    """Non-2xx response from the service."""
+    """Non-2xx response from the service.
 
-    def __init__(self, status: int, payload: Dict[str, Any]):
+    ``attempts`` counts how many transport attempts were made before
+    this error surfaced (retries cover connection errors and 5xx).
+    """
+
+    def __init__(
+        self, status: int, payload: Dict[str, Any], attempts: int = 1
+    ):
         self.status = int(status)
         self.payload = payload
+        self.attempts = int(attempts)
         detail = payload.get("detail") or payload.get("error") or payload
-        super().__init__(f"HTTP {status}: {detail}")
+        suffix = f" (after {attempts} attempts)" if attempts > 1 else ""
+        super().__init__(f"HTTP {status}: {detail}{suffix}")
 
 
 class OverBudgetError(ServiceError):
@@ -47,8 +67,13 @@ class OverBudgetError(ServiceError):
         return list(self.payload.get("rejected_users", []))
 
 
+class CampaignClosedError(ServiceError):
+    """The addressed campaign is sealed and no longer ingests (409)."""
+
+
 class ServiceClient:
-    """HTTP client bound to one ingestion server.
+    """HTTP client bound to one ingestion server (and optionally one
+    campaign on it).
 
     Parameters
     ----------
@@ -57,9 +82,17 @@ class ServiceClient:
     timeout:
         Per-request socket timeout in seconds.
     retries:
-        Transport-level retry attempts (connection refused/reset,
-        timeouts).  Safe for :meth:`submit` because the idempotency key
-        is fixed before the first attempt.
+        Transport-level retry attempts beyond the first try, covering
+        connection errors (refused/reset, timeouts) *and* 5xx
+        responses.  Safe for :meth:`submit` because the idempotency
+        key is fixed before the first attempt.
+    retry_delay / retry_max_delay:
+        Exponential backoff base and cap: attempt k sleeps
+        ``min(retry_delay * 2**(k-1), retry_max_delay)`` scaled by a
+        uniform jitter in [0.5, 1].
+    campaign:
+        Campaign fingerprint this client addresses; ``None`` targets
+        the server's default campaign.
     """
 
     def __init__(
@@ -69,19 +102,62 @@ class ServiceClient:
         timeout: float = 10.0,
         retries: int = 2,
         retry_delay: float = 0.1,
+        retry_max_delay: float = 2.0,
+        campaign: Optional[str] = None,
     ):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.retry_delay = float(retry_delay)
+        self.retry_max_delay = float(retry_max_delay)
+        self.campaign = campaign
         self._protocol: Optional[Protocol] = None
         self._fingerprint: Optional[str] = None
         self._spec_response: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
+    # Campaign binding
+    # ------------------------------------------------------------------
+    def for_campaign(
+        self,
+        campaign: Union[str, ProtocolSpec, Dict[str, Any]],
+    ) -> "ServiceClient":
+        """A sibling client addressing one specific campaign.
+
+        Accepts a campaign fingerprint, a :class:`ProtocolSpec`, or a
+        spec dict (fingerprinted locally — handy right after
+        :meth:`register_campaign` with the same spec).
+        """
+        if isinstance(campaign, (ProtocolSpec, dict)):
+            campaign = wire.spec_fingerprint(campaign)
+        return ServiceClient(
+            self.host,
+            self.port,
+            timeout=self.timeout,
+            retries=self.retries,
+            retry_delay=self.retry_delay,
+            retry_max_delay=self.retry_max_delay,
+            campaign=str(campaign),
+        )
+
+    def _campaign_query(self) -> str:
+        if self.campaign is None:
+            return ""
+        return f"?campaign={self.campaign}"
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Sleep time before retry ``attempt`` (1-based): bounded
+        exponential with jitter in [0.5, 1] to avoid thundering-herd
+        resubmission from a fleet of clients."""
+        base = min(
+            self.retry_delay * (2.0 ** (attempt - 1)), self.retry_max_delay
+        )
+        return base * (0.5 + 0.5 * random.random())
+
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
@@ -89,9 +165,12 @@ class ServiceClient:
             json.dumps(body).encode("utf-8") if body is not None else None
         )
         last_error: Optional[Exception] = None
+        last_response: Optional[tuple] = None
+        attempts = 0
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self.retry_delay)
+                time.sleep(self._backoff(attempt))
+            attempts = attempt + 1
             connection = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
@@ -115,16 +194,36 @@ class ServiceClient:
                 payload = json.loads(raw) if raw else {}
             except json.JSONDecodeError as exc:
                 raise ServiceError(
-                    response.status, {"error": "non_json_response"}
+                    response.status,
+                    {"error": "non_json_response"},
+                    attempts=attempts,
                 ) from exc
+            if response.status >= 500:
+                # Transient server-side failure: retry (idempotency
+                # keys make resubmission safe), surface the last one.
+                last_error = None
+                last_response = (response.status, payload)
+                continue
             if response.status == 429:
-                raise OverBudgetError(response.status, payload)
+                raise OverBudgetError(
+                    response.status, payload, attempts=attempts
+                )
             if response.status >= 400:
-                raise ServiceError(response.status, payload)
+                if payload.get("error") == "campaign_sealed":
+                    raise CampaignClosedError(
+                        response.status, payload, attempts=attempts
+                    )
+                raise ServiceError(
+                    response.status, payload, attempts=attempts
+                )
             return payload
+        if last_response is not None:
+            raise ServiceError(
+                last_response[0], last_response[1], attempts=attempts
+            )
         raise ConnectionError(
             f"could not reach service at {self.host}:{self.port} after "
-            f"{self.retries + 1} attempts"
+            f"{attempts} attempts"
         ) from last_error
 
     # ------------------------------------------------------------------
@@ -133,7 +232,9 @@ class ServiceClient:
     def fetch_spec(self) -> Dict[str, Any]:
         """``GET /spec`` (cached); builds the local protocol twin."""
         if self._spec_response is None:
-            response = self._request("GET", "/spec")
+            response = self._request(
+                "GET", "/spec" + self._campaign_query()
+            )
             version = response.get("wire_version")
             if version != wire.WIRE_VERSION:
                 raise wire.WireFormatError(
@@ -151,6 +252,16 @@ class ServiceClient:
                     "fingerprint — client and server disagree on the "
                     "spec schema"
                 )
+            if (
+                self.campaign is not None
+                and self._fingerprint != self.campaign
+            ):
+                raise wire.SpecMismatchError(
+                    f"campaign {self.campaign[:12]!r}... served a spec "
+                    f"fingerprinting to {self._fingerprint[:12]!r}... — "
+                    f"the campaign id IS the spec fingerprint, so these "
+                    f"must agree"
+                )
             self._spec_response = response
         return self._spec_response
 
@@ -164,6 +275,39 @@ class ServiceClient:
     def fingerprint(self) -> str:
         self.fetch_spec()
         return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Campaign management
+    # ------------------------------------------------------------------
+    def register_campaign(
+        self, spec: Union[Protocol, ProtocolSpec, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """``POST /campaigns`` — register a collection campaign.
+
+        Idempotent by content: re-registering the same spec returns the
+        live campaign (``created: false``).  Returns the server's
+        ``{campaign, state, epsilon, created}`` response; pass
+        ``response["campaign"]`` to :meth:`for_campaign`.
+        """
+        if isinstance(spec, Protocol):
+            spec = spec.spec
+        if isinstance(spec, ProtocolSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/campaigns", {"spec": spec})
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """``GET /campaigns`` — every campaign and its state."""
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def seal_campaign(
+        self, campaign: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``POST /campaigns/<fp>/seal`` — close a campaign to further
+        ingestion (defaults to this client's bound campaign)."""
+        target = campaign if campaign is not None else self.campaign
+        if target is None:
+            target = self.fingerprint  # default campaign's fingerprint
+        return self._request("POST", f"/campaigns/{target}/seal")
 
     # ------------------------------------------------------------------
     # Submission
@@ -205,6 +349,7 @@ class ServiceClient:
                 "reports": encoded,
             },
             self.fingerprint,
+            campaign=self.campaign,
         )
         return self._request("POST", "/report", envelope)
 
@@ -228,10 +373,23 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def estimate(self):
         """Current server-side estimate, decoded to native objects."""
+        return self.estimate_info()["estimate"]
+
+    def estimate_info(self) -> Dict[str, Any]:
+        """Estimate plus its provenance: ``{estimate, reports, state,
+        final}``.  ``final`` is False while the campaign is still open
+        (more reports may arrive); serving an estimate from a sealed
+        campaign finalizes it (state becomes ``estimated``)."""
         payload = wire.unpack(
-            self._request("GET", "/estimate"), self.fingerprint
+            self._request("GET", "/estimate" + self._campaign_query()),
+            self.fingerprint,
         )
-        return wire.decode_estimate(payload["estimate"])
+        return {
+            "estimate": wire.decode_estimate(payload["estimate"]),
+            "reports": payload.get("reports"),
+            "state": payload.get("state"),
+            "final": payload.get("final"),
+        }
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
@@ -241,4 +399,9 @@ class ServiceClient:
         return int(self._request("POST", "/checkpoint")["seq"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ServiceClient({self.host!r}, {self.port})"
+        bound = (
+            f", campaign={self.campaign[:12]}..."
+            if self.campaign
+            else ""
+        )
+        return f"ServiceClient({self.host!r}, {self.port}{bound})"

@@ -1,31 +1,47 @@
-"""Stdlib-only asyncio HTTP ingestion server.
+"""Stdlib-only asyncio HTTP ingestion server (multi-tenant).
 
 The aggregator half of the paper's deployment, as an actual network
 service.  One :class:`IngestionServer` owns
 
-* the :class:`~repro.protocol.facade.Protocol` (built from a spec) and
-  its single :class:`~repro.protocol.accumulators.ServerAccumulator`,
-* a :class:`~repro.analysis.accountant.PrivacyAccountant` that every
-  accepted report batch is charged against *before* absorption —
-  over-budget users get the whole batch rejected with HTTP 429 and
-  nothing is charged or absorbed (the client may resubmit without the
-  exhausted users),
+* a :class:`~repro.campaigns.registry.CampaignRegistry` of concurrent
+  collection campaigns — each campaign is a
+  :class:`~repro.protocol.facade.Protocol` with its own
+  :class:`~repro.protocol.accumulators.ServerAccumulator`,
+  idempotency-key set, and lifecycle state
+  (``open -> sealed -> estimated``),
+* a :class:`~repro.campaigns.ledger.CrossCampaignLedger` charging every
+  accepted report against the submitting user's single *global* budget
+  (no matter how many campaigns they report into) — over-budget users
+  get the whole batch rejected with HTTP 429 and nothing is charged or
+  absorbed,
 * an optional :class:`~repro.service.store.SnapshotStore` for periodic
-  durable checkpoints and resume-on-restart.
+  durable checkpoints and resume-on-restart: the root store holds a
+  manifest (specs, lifecycle states, counters, the ledger), one child
+  namespace per campaign holds its accumulator payload.
 
 Endpoints (all JSON):
 
-==================  ====================================================
-``GET  /healthz``   liveness + counters
-``GET  /spec``      protocol spec dict, fingerprint, wire version
-``GET  /estimate``  current estimate (wire-encoded), report count
-``POST /report``    enveloped report batch (batch-capable, idempotent)
-``POST /checkpoint``  force a snapshot now; returns its sequence number
-==================  ====================================================
+======================  ================================================
+``GET  /healthz``        liveness, uptime, snapshot seq/age, counters
+``GET  /campaigns``      list all campaigns and their states
+``POST /campaigns``      register a campaign from a ``{"spec": ...}``
+``POST /campaigns/<fp>/seal``  close a campaign to ingestion
+``GET  /spec``           spec + fingerprint (``?campaign=<fp>``)
+``GET  /estimate``       current estimate (``?campaign=<fp>``)
+``POST /report``         enveloped report batch (batch, idempotent)
+``POST /checkpoint``     force a snapshot now; returns its sequence
+======================  ================================================
+
+Campaign routing: a report envelope may carry a ``campaign``
+fingerprint; without one it routes to the *default* campaign (the one
+the server was constructed with), which is how pre-campaign v1 clients
+keep working unchanged.  The envelope fingerprint is always checked
+against the **addressed** campaign's spec — a mismatch is HTTP 409,
+never a silent mis-aggregation.
 
 Ingestion is strictly ordered: request handlers run on the event loop
-and absorb synchronously, so the accumulator sees batches in arrival
-order and a checkpoint always captures a quiescent state.
+and absorb synchronously, so accumulators see batches in arrival order
+and a checkpoint always captures a quiescent state.
 
 The HTTP layer is a deliberately minimal HTTP/1.1 implementation over
 ``asyncio.start_server`` (no third-party dependency, connection per
@@ -37,9 +53,16 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+import time
+import urllib.parse
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
-from repro.analysis.accountant import PrivacyAccountant
+from repro.campaigns.ledger import CrossCampaignLedger, batch_multiplicity
+from repro.campaigns.registry import (
+    Campaign,
+    CampaignRegistry,
+    UnknownCampaignError,
+)
 from repro.protocol.facade import Protocol
 from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
@@ -59,41 +82,50 @@ _STATUS_TEXT = {
 #: Upper bound on accepted request bodies (64 MiB of JSON).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+SpecLike = Union[Protocol, ProtocolSpec, Dict[str, Any]]
+
 
 class IngestionServer:
-    """Networked LDP aggregator for one protocol.
+    """Networked LDP aggregator for one or many campaigns.
 
     Parameters
     ----------
     protocol_or_spec:
-        A :class:`Protocol`, a :class:`ProtocolSpec`, or a spec dict.
+        The *default* campaign — a :class:`Protocol`, a
+        :class:`ProtocolSpec`, or a spec dict.  Campaign-unaware (v1)
+        envelopes route here.  ``None`` starts a server with no
+        default; every request must then address a campaign.
     lifetime_epsilon:
-        Per-user lifetime budget cap; defaults to the spec's epsilon
-        (each user reports once, the paper's m = 1 policy).
+        Per-user **global** budget cap, shared across every campaign
+        (cross-campaign sequential composition).  Defaults to the
+        default campaign's epsilon (each user reports once, the
+        paper's m = 1 policy), else the registered campaigns' max;
+        required when the server starts with no campaigns at all.
     store:
-        Snapshot store for durable checkpoints; when it already holds a
-        snapshot the server resumes from it (fingerprint-checked).
+        Snapshot store for durable checkpoints; when it already holds
+        a manifest the server resumes *all* campaigns plus the ledger
+        from it (fingerprint-checked per campaign).
     checkpoint_every:
         Write a snapshot after every this-many accepted batches
         (requires ``store``; ``None`` disables periodic checkpoints).
+        Campaign registrations and seals checkpoint immediately.
     host / port:
         Bind address; port 0 picks a free port (see :attr:`port` after
         :meth:`start`).
+    campaigns:
+        Additional (non-default) campaign specs to register at boot.
     """
 
     def __init__(
         self,
-        protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
+        protocol_or_spec: Optional[SpecLike] = None,
         lifetime_epsilon: Optional[float] = None,
         store: Optional[SnapshotStore] = None,
         checkpoint_every: Optional[int] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        campaigns: Optional[Iterable[SpecLike]] = None,
     ):
-        if isinstance(protocol_or_spec, Protocol):
-            self.protocol = protocol_or_spec
-        else:
-            self.protocol = Protocol.from_spec(protocol_or_spec)
         if checkpoint_every is not None:
             if checkpoint_every < 1:
                 raise ValueError(
@@ -101,29 +133,61 @@ class IngestionServer:
                 )
             if store is None:
                 raise ValueError("checkpoint_every requires a store")
-        self.spec = self.protocol.spec
-        self.fingerprint = wire.spec_fingerprint(self.spec)
-        self.accountant = PrivacyAccountant(
-            lifetime_epsilon=(
-                self.spec.epsilon
-                if lifetime_epsilon is None
-                else lifetime_epsilon
+        self.registry = CampaignRegistry()
+        if protocol_or_spec is not None:
+            self.registry.register(protocol_or_spec, default=True)
+        for spec in campaigns or ():
+            self.registry.register(spec)
+        if lifetime_epsilon is None:
+            if len(self.registry) == 0:
+                raise ValueError(
+                    "a server starting with no campaigns needs an "
+                    "explicit lifetime_epsilon"
+                )
+            default = self.registry.default
+            lifetime_epsilon = (
+                default.spec.epsilon
+                if default is not None
+                else max(c.spec.epsilon for c in self.registry)
             )
-        )
+        self.ledger = CrossCampaignLedger(lifetime_epsilon)
         self.store = store
         self.checkpoint_every = checkpoint_every
         self.host = host
         self.port = port
-        self._accumulator = self.protocol.server()
         self._batches_accepted = 0
         self._duplicates = 0
-        self._seen_keys = set()
         self._resumed_from: Optional[int] = None
+        self._started_at = time.monotonic()
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         if self.store is not None:
             self._maybe_resume()
+
+    # ------------------------------------------------------------------
+    # Single-campaign (v1) compatibility surface
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> Optional[Protocol]:
+        """The default campaign's protocol (``None`` without one)."""
+        default = self.registry.default
+        return default.protocol if default is not None else None
+
+    @property
+    def spec(self) -> Optional[ProtocolSpec]:
+        default = self.registry.default
+        return default.spec if default is not None else None
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        default = self.registry.default
+        return default.fingerprint if default is not None else None
+
+    @property
+    def accountant(self):
+        """The cross-campaign ledger's underlying accountant."""
+        return self.ledger.accountant
 
     # ------------------------------------------------------------------
     # Durability
@@ -133,91 +197,286 @@ class IngestionServer:
         if loaded is None:
             return
         seq, snapshot = loaded
-        if snapshot.get("fingerprint") != self.fingerprint:
+        if "campaigns" in snapshot:
+            self._resume_manifest(seq, snapshot)
+        else:
+            self._resume_legacy(seq, snapshot)
+        self._resumed_from = seq
+
+    def _resume_manifest(self, seq: int, snapshot: Dict[str, Any]) -> None:
+        """Restore every campaign + the ledger from a campaign manifest."""
+        manifest_default = snapshot.get("default")
+        configured = self.registry.default
+        if (
+            configured is not None
+            and manifest_default is not None
+            and configured.fingerprint != manifest_default
+        ):
+            raise wire.SpecMismatchError(
+                f"snapshot {seq} in {self.store.directory} has default "
+                f"campaign {str(manifest_default)[:12]!r}..., this server "
+                f"was configured with {configured.fingerprint[:12]!r}..."
+            )
+        for fp, entry in snapshot["campaigns"].items():
+            if fp in self.registry:
+                campaign = self.registry.get(fp)
+            else:
+                campaign, _ = self.registry.register(
+                    entry["spec"], default=(fp == manifest_default)
+                )
+            if campaign.fingerprint != fp:
+                raise wire.SpecMismatchError(
+                    f"manifest entry {str(fp)[:12]!r}... does not match "
+                    f"its own spec (fingerprint "
+                    f"{campaign.fingerprint[:12]!r}...)"
+                )
+            saved_seq = entry.get("seq")
+            if saved_seq is None:  # registered but never checkpointed
+                continue
+            payload = self.store.namespace(fp).load(int(saved_seq))
+            campaign.restore(entry, payload)
+        self.ledger = CrossCampaignLedger.from_dict(snapshot["ledger"])
+        self._batches_accepted = int(snapshot["batches_accepted"])
+        self._duplicates = int(snapshot.get("duplicates", 0))
+
+    def _resume_legacy(self, seq: int, snapshot: Dict[str, Any]) -> None:
+        """Restore a pre-campaign (PR 3) single-protocol snapshot into
+        the default campaign."""
+        default = self.registry.default
+        if default is None or snapshot.get("fingerprint") != (
+            default.fingerprint
+        ):
             raise wire.SpecMismatchError(
                 f"snapshot {seq} in {self.store.directory} was written "
                 f"by a different protocol (fingerprint "
                 f"{str(snapshot.get('fingerprint'))[:12]!r}...)"
             )
         wire.decode_accumulator_state(
-            self._accumulator, snapshot["accumulator"]
+            default.accumulator, snapshot["accumulator"]
         )
-        self.accountant = PrivacyAccountant.from_dict(snapshot["accountant"])
-        self._batches_accepted = int(snapshot["batches_accepted"])
-        self._seen_keys = set(snapshot.get("idempotency_keys", []))
-        self._resumed_from = seq
+        self.ledger = CrossCampaignLedger.from_dict(snapshot["accountant"])
+        default.seen_keys = set(snapshot.get("idempotency_keys", []))
+        default.batches_accepted = int(snapshot["batches_accepted"])
+        default.dirty = True
+        self._batches_accepted = default.batches_accepted
 
     def checkpoint_now(self) -> int:
-        """Write a snapshot of the full ingestion state; returns seq."""
+        """Write a full snapshot — every dirty campaign's payload into
+        its namespace, then the root manifest — and return its seq.
+
+        The manifest lands last, so a crash mid-checkpoint leaves the
+        previous manifest pointing at campaign payloads that are still
+        retained (``keep`` >= 2 guarantees the window).
+        """
         if self.store is None:
             raise RuntimeError("server has no snapshot store")
         seq = self._batches_accepted
+        for campaign in self.registry:
+            if not campaign.dirty:
+                continue
+            namespace = self.store.namespace(campaign.fingerprint)
+            namespace.save(seq, campaign.snapshot_payload())
+            campaign.saved_seq = seq
+            campaign.dirty = False
+        default = self.registry.default
         self.store.save(
             seq,
             {
                 "wire_version": wire.WIRE_VERSION,
-                "fingerprint": self.fingerprint,
-                "spec": self.spec.to_dict(),
-                "accumulator": wire.encode_accumulator_state(
-                    self._accumulator
-                ),
-                "accountant": self.accountant.to_dict(),
+                "type": "campaign-manifest",
+                "default": default.fingerprint if default else None,
+                "campaigns": {
+                    c.fingerprint: c.manifest_entry() for c in self.registry
+                },
+                "ledger": self.ledger.to_dict(),
                 "batches_accepted": self._batches_accepted,
-                "idempotency_keys": sorted(self._seen_keys),
+                "duplicates": self._duplicates,
             },
         )
         return seq
 
+    def _checkpoint_if_durable(self) -> None:
+        """Persist registry mutations (register/seal) immediately."""
+        if self.store is not None:
+            self.checkpoint_now()
+
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
+    def _resolve(
+        self, campaign_id: Optional[str]
+    ) -> Tuple[Optional[Campaign], Optional[Tuple[int, Dict[str, Any]]]]:
+        """Route to a campaign; returns (campaign, error_response)."""
+        try:
+            return self.registry.resolve(campaign_id), None
+        except UnknownCampaignError as exc:
+            return None, (
+                404,
+                {
+                    "error": "unknown_campaign",
+                    "campaign": campaign_id,
+                    "detail": str(exc.args[0]) if exc.args else str(exc),
+                },
+            )
+
     def _handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        snapshot_info = None
+        if self.store is not None:
+            info = self.store.latest_info()
+            if info is not None:
+                seq, mtime = info
+                snapshot_info = {
+                    "latest_seq": seq,
+                    "age_seconds": max(0.0, time.time() - mtime),
+                }
         return 200, {
             "status": "ok",
-            "reports": self._accumulator.count,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "reports": self.registry.total_reports(),
             "batches_accepted": self._batches_accepted,
             "duplicates": self._duplicates,
             "resumed_from_snapshot": self._resumed_from,
-            "users_charged": len(self.accountant.users()),
+            "users_charged": len(self.ledger.users()),
+            "lifetime_epsilon": self.ledger.lifetime_epsilon,
+            "snapshot": snapshot_info,
+            "campaigns": {
+                c.fingerprint: {
+                    "kind": c.spec.kind,
+                    "state": c.state.value,
+                    "default": c.default,
+                    "reports": c.reports,
+                    "batches_accepted": c.batches_accepted,
+                    "duplicates": c.duplicates,
+                }
+                for c in self.registry
+            },
         }
 
-    def _handle_spec(self) -> Tuple[int, Dict[str, Any]]:
+    def _handle_spec(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        campaign, error = self._resolve(query.get("campaign"))
+        if error is not None:
+            return error
         return 200, {
             "wire_version": wire.WIRE_VERSION,
-            "fingerprint": self.fingerprint,
-            "spec": self.spec.to_dict(),
-            "epsilon_per_report": self.spec.epsilon,
-            "lifetime_epsilon": self.accountant.lifetime_epsilon,
+            "fingerprint": campaign.fingerprint,
+            "campaign": campaign.fingerprint,
+            "state": campaign.state.value,
+            "spec": campaign.spec.to_dict(),
+            "epsilon_per_report": campaign.spec.epsilon,
+            "lifetime_epsilon": self.ledger.lifetime_epsilon,
         }
 
-    def _handle_estimate(self) -> Tuple[int, Dict[str, Any]]:
-        if self._accumulator.count == 0:
-            return 409, {"error": "no_reports"}
+    def _handle_estimate(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        campaign, error = self._resolve(query.get("campaign"))
+        if error is not None:
+            return error
+        if campaign.accumulator.count == 0:
+            return 409, {
+                "error": "no_reports",
+                "campaign": campaign.fingerprint,
+            }
+        # Serving an estimate from a *sealed* campaign finalizes it;
+        # an open campaign may be estimated at any time, but the result
+        # is explicitly non-final (more reports can still arrive).
+        final = not campaign.accepts_reports
+        if final and campaign.state.value == "sealed":
+            campaign.mark_estimated()
+            self._checkpoint_if_durable()
         return 200, wire.pack(
             {
                 "estimate": wire.encode_estimate(
-                    self._accumulator.estimate()
+                    campaign.accumulator.estimate()
                 ),
-                "reports": self._accumulator.count,
+                "reports": campaign.reports,
+                "state": campaign.state.value,
+                "final": final,
             },
-            self.fingerprint,
+            campaign.fingerprint,
+            campaign=campaign.fingerprint,
         )
 
-    def _handle_report(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    def _handle_campaign_list(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "campaigns": self.registry.describe(),
+            "lifetime_epsilon": self.ledger.lifetime_epsilon,
+        }
+
+    def _handle_campaign_register(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if body is None or not isinstance(body.get("spec"), dict):
+            return 400, {
+                "error": "bad_request",
+                "detail": "POST /campaigns requires a JSON body with a "
+                "'spec' object (ProtocolSpec.to_dict())",
+            }
         try:
-            payload = wire.unpack(body, self.fingerprint)
+            campaign, created = self.registry.register(body["spec"])
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": "bad_spec", "detail": str(exc)}
+        if created:
+            self._checkpoint_if_durable()
+        return 200, {
+            "campaign": campaign.fingerprint,
+            "state": campaign.state.value,
+            "epsilon": campaign.spec.epsilon,
+            "created": created,
+        }
+
+    def _handle_campaign_seal(
+        self, fingerprint: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        campaign, error = self._resolve(fingerprint)
+        if error is not None:
+            return error
+        was = campaign.state
+        state = campaign.seal()
+        if state is not was:
+            self._checkpoint_if_durable()
+        return 200, {
+            "campaign": campaign.fingerprint,
+            "state": state.value,
+            "reports": campaign.reports,
+        }
+
+    def _handle_report(
+        self, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            campaign_id = wire.envelope_campaign(body)
+        except wire.WireFormatError as exc:
+            return 400, {"error": "bad_envelope", "detail": str(exc)}
+        campaign, error = self._resolve(campaign_id)
+        if error is not None:
+            return error
+        try:
+            payload = wire.unpack(body, campaign.fingerprint)
         except wire.SpecMismatchError as exc:
             return 409, {"error": "spec_mismatch", "detail": str(exc)}
         except wire.WireFormatError as exc:
             return 400, {"error": "bad_envelope", "detail": str(exc)}
 
+        if not campaign.accepts_reports:
+            return 409, {
+                "error": "campaign_sealed",
+                "campaign": campaign.fingerprint,
+                "state": campaign.state.value,
+                "detail": "campaign no longer accepts reports",
+            }
+
         key = payload.get("idempotency_key")
-        if key is not None and key in self._seen_keys:
+        if key is not None and key in campaign.seen_keys:
+            campaign.duplicates += 1
             self._duplicates += 1
             return 200, {
                 "status": "duplicate",
                 "accepted": 0,
-                "total_reports": self._accumulator.count,
+                "campaign": campaign.fingerprint,
+                "total_reports": campaign.reports,
             }
 
         users = payload.get("users")
@@ -238,27 +497,19 @@ class IngestionServer:
                 f"users",
             }
 
-        # Budget enforcement is atomic per batch: either every user has
-        # room for *all* their reports in the batch and all are
-        # charged, or nothing happens.  Multiplicity matters — a user
-        # appearing twice must afford 2x epsilon.
-        epsilon = self.spec.epsilon
-        multiplicity: Dict[str, int] = {}
-        for user in users:
-            name = str(user)
-            multiplicity[name] = multiplicity.get(name, 0) + 1
-        rejected = [
-            user
-            for user, reports_by_user in multiplicity.items()
-            if not self.accountant.can_charge(
-                user, reports_by_user * epsilon
-            )
-        ]
+        # Budget enforcement is atomic per batch *against the global
+        # cross-campaign ledger*: either every user has room for all
+        # their reports in the batch (at multiplicity) on top of what
+        # they already spent in ANY campaign, or nothing happens.
+        epsilon = campaign.spec.epsilon
+        multiplicity = batch_multiplicity(users)
+        rejected = self.ledger.rejected_users(multiplicity, epsilon)
         if rejected:
             return 429, {
                 "error": "budget_exceeded",
+                "campaign": campaign.fingerprint,
                 "rejected_users": rejected,
-                "lifetime_epsilon": self.accountant.lifetime_epsilon,
+                "lifetime_epsilon": self.ledger.lifetime_epsilon,
             }
 
         # Absorb before charging: a shape/protocol violation the codec
@@ -266,16 +517,17 @@ class IngestionServer:
         # loop below cannot fail — handlers run single-threaded on the
         # event loop and every user was pre-checked at multiplicity.
         try:
-            self._accumulator.absorb(reports)
+            campaign.accumulator.absorb(reports)
         except ValueError as exc:
             return 400, {"error": "bad_reports", "detail": str(exc)}
-        for user, reports_by_user in multiplicity.items():
-            self.accountant.charge(
-                user, reports_by_user * epsilon, label="service"
-            )
+        self.ledger.charge_batch(
+            multiplicity, epsilon, campaign=campaign.fingerprint
+        )
+        campaign.batches_accepted += 1
+        campaign.dirty = True
         self._batches_accepted += 1
         if key is not None:
-            self._seen_keys.add(key)
+            campaign.seen_keys.add(key)
         if (
             self.checkpoint_every is not None
             and self._batches_accepted % self.checkpoint_every == 0
@@ -284,7 +536,8 @@ class IngestionServer:
         return 200, {
             "status": "accepted",
             "accepted": n,
-            "total_reports": self._accumulator.count,
+            "campaign": campaign.fingerprint,
+            "total_reports": campaign.reports,
         }
 
     def _handle_checkpoint(self) -> Tuple[int, Dict[str, Any]]:
@@ -293,28 +546,50 @@ class IngestionServer:
         return 200, {"status": "ok", "seq": self.checkpoint_now()}
 
     def _dispatch(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[Dict[str, Any]],
     ) -> Tuple[int, Dict[str, Any]]:
-        routes = {
-            ("GET", "/healthz"): self._handle_healthz,
-            ("GET", "/spec"): self._handle_spec,
-            ("GET", "/estimate"): self._handle_estimate,
-            ("POST", "/checkpoint"): self._handle_checkpoint,
-        }
-        if (method, path) == ("POST", "/report"):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_healthz()
+        if path == "/spec":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_spec(query)
+        if path == "/estimate":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_estimate(query)
+        if path == "/campaigns":
+            if method == "GET":
+                return self._handle_campaign_list()
+            if method == "POST":
+                return self._handle_campaign_register(body)
+            return 405, {"error": "method_not_allowed"}
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 3 and parts[0] == "campaigns" and (
+            parts[2] == "seal"
+        ):
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_campaign_seal(parts[1])
+        if path == "/report":
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}
             if body is None:
                 return 400, {
                     "error": "bad_request",
                     "detail": "POST /report requires a JSON body",
                 }
             return self._handle_report(body)
-        handler = routes.get((method, path))
-        if handler is not None:
-            return handler()
-        known_paths = {"/healthz", "/spec", "/estimate", "/report",
-                       "/checkpoint"}
-        if path in known_paths:
-            return 405, {"error": "method_not_allowed"}
+        if path == "/checkpoint":
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_checkpoint()
         return 404, {"error": "not_found", "path": path}
 
     # ------------------------------------------------------------------
@@ -361,7 +636,12 @@ class IngestionServer:
         parts = request_line.split()
         if len(parts) != 3:
             return 400, {"error": "bad_request_line"}
-        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        method = parts[0].upper()
+        path, _, raw_query = parts[1].partition("?")
+        query = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(raw_query).items()
+        }
         content_length = 0
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
@@ -382,7 +662,7 @@ class IngestionServer:
                 body = json.loads(raw)
             except json.JSONDecodeError as exc:
                 return 400, {"error": "bad_json", "detail": str(exc)}
-        return self._dispatch(method, path, body)
+        return self._dispatch(method, path, query, body)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -465,6 +745,6 @@ class IngestionServer:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"IngestionServer(kind={self.spec.kind!r}, "
-            f"port={self.port}, reports={self._accumulator.count})"
+            f"IngestionServer(campaigns={len(self.registry)}, "
+            f"port={self.port}, reports={self.registry.total_reports()})"
         )

@@ -11,6 +11,13 @@ mid-write leaves at worst a stale ``.tmp`` file that the next save
 overwrites.  Old snapshots are pruned down to ``keep`` after every
 save, and recovery always resumes from the highest surviving sequence
 number.
+
+Stores can be **namespaced**: :meth:`SnapshotStore.namespace` returns
+a child store rooted at a subdirectory of this one, with the same
+``keep`` policy but independent sequences and pruning.  The campaign
+layer gives every campaign its own namespace (accumulator payloads)
+under the root store (which holds the manifest + cross-campaign
+ledger), so one campaign's churn never prunes another's history.
 """
 
 from __future__ import annotations
@@ -41,6 +48,28 @@ class SnapshotStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    def namespace(self, name: str) -> "SnapshotStore":
+        """Child store at ``directory/name`` (same ``keep`` policy).
+
+        Namespace names must be flat path components (the campaign
+        layer uses spec fingerprints, which are hex).
+        """
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name) or name in {
+            ".",
+            "..",
+        }:
+            raise ValueError(f"invalid namespace name {name!r}")
+        return SnapshotStore(self.directory / name, keep=self.keep)
+
+    def namespaces(self) -> List[str]:
+        """Names of all existing child namespaces, sorted."""
+        return sorted(
+            entry.name
+            for entry in self.directory.iterdir()
+            if entry.is_dir()
+        )
 
     # ------------------------------------------------------------------
     def _path(self, seq: int) -> Path:
@@ -95,6 +124,14 @@ class SnapshotStore:
         if seq is None:
             return None
         return seq, self.load(seq)
+
+    def latest_info(self) -> Optional[Tuple[int, float]]:
+        """``(seq, mtime)`` of the newest snapshot without reading it
+        (healthz reports the sequence and its age)."""
+        seq = self.latest_sequence()
+        if seq is None:
+            return None
+        return seq, self._path(seq).stat().st_mtime
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

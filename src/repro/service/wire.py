@@ -28,7 +28,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -279,13 +279,41 @@ def spec_fingerprint(spec: Union[ProtocolSpec, Dict[str, Any]]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def pack(payload: Dict[str, Any], fingerprint: str) -> Dict[str, Any]:
-    """Wrap a payload in the versioned, fingerprinted envelope."""
-    return {
+def pack(
+    payload: Dict[str, Any],
+    fingerprint: str,
+    campaign: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Wrap a payload in the versioned, fingerprinted envelope.
+
+    ``campaign`` addresses a specific campaign on a multi-tenant
+    server; omitted, the receiver routes to its default campaign
+    (which is how pre-campaign v1 envelopes keep working).  The
+    fingerprint check then runs against the *addressed* campaign's
+    spec, so naming campaign A while carrying campaign B's fingerprint
+    is a :class:`SpecMismatchError`, never a silent mis-aggregation.
+    """
+    envelope = {
         "wire_version": WIRE_VERSION,
         "fingerprint": fingerprint,
         "payload": payload,
     }
+    if campaign is not None:
+        envelope["campaign"] = str(campaign)
+    return envelope
+
+
+def envelope_campaign(envelope: Dict[str, Any]) -> Optional[str]:
+    """The campaign an envelope addresses, or ``None`` (default)."""
+    campaign = envelope.get("campaign")
+    if campaign is None:
+        return None
+    if not isinstance(campaign, str):
+        raise WireFormatError(
+            f"envelope 'campaign' must be a fingerprint string, got "
+            f"{type(campaign).__name__}"
+        )
+    return campaign
 
 
 def unpack(

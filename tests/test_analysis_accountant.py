@@ -65,6 +65,51 @@ class TestGroupCharging:
         assert len(first) == 10
         assert second == ()
 
+    def test_atomic_group_all_funded(self):
+        acc = PrivacyAccountant(2.0)
+        charged = acc.charge_group(
+            ["u1", "u2"], 1.0, "batch", atomic=True
+        )
+        assert charged == ("u1", "u2")
+        assert acc.spent("u1") == pytest.approx(1.0)
+
+    def test_atomic_group_partial_failure_rolls_back(self):
+        """A user failing mid-group undoes every charge already made:
+        the spent map AND the ledger end exactly as they began."""
+        acc = PrivacyAccountant(2.0)
+        acc.charge("u1", 1.0, "earlier")
+        spent_before = {u: acc.spent(u) for u in ("u1", "u2", "u3")}
+        ledger_before = acc.ledger
+        # u2 and u3 are funded; u1 fails AFTER both were charged
+        # (iteration order is list order), forcing a real rollback.
+        with pytest.raises(BudgetExceededError):
+            acc.charge_group(
+                ["u2", "u3", "u1"], 1.5, "batch", atomic=True
+            )
+        assert acc.ledger == ledger_before
+        for user, spent in spent_before.items():
+            assert acc.spent(user) == pytest.approx(spent)
+        # The accountant still works normally afterwards.
+        assert acc.charge_group(["u2"], 1.5, atomic=True) == ("u2",)
+
+    def test_atomic_group_duplicate_user_rolls_back(self):
+        """Multiplicity inside one group: each listed occurrence is a
+        charge, so a duplicate can overdraw even when a per-user
+        precheck passes — exactly the case rollback must cover."""
+        acc = PrivacyAccountant(1.0)
+        with pytest.raises(BudgetExceededError):
+            acc.charge_group(["dup", "dup"], 0.7, atomic=True)
+        assert acc.spent("dup") == 0.0
+        assert acc.ledger == ()
+        assert acc.users() == ()
+
+    def test_non_atomic_group_keeps_skip_semantics(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("u1", 1.0)
+        charged = acc.charge_group(["u1", "u2"], 0.5, atomic=False)
+        assert charged == ("u2",)
+        assert acc.spent("u2") == pytest.approx(0.5)
+
 
 class TestLedger:
     def test_ledger_records_everything(self):
@@ -80,6 +125,30 @@ class TestLedger:
         acc.charge("u1", 1.0)
         ledger = acc.ledger
         assert isinstance(ledger, tuple)
+
+    def test_spent_by_label_breakdown(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0, "campaign-a")
+        acc.charge("u1", 0.5, "campaign-b")
+        acc.charge("u1", 0.25, "campaign-a")
+        acc.charge("u2", 2.0, "campaign-b")
+        assert acc.spent_by_label("u1") == {
+            "campaign-a": pytest.approx(1.25),
+            "campaign-b": pytest.approx(0.5),
+        }
+        assert acc.spent_by_label("u2") == {
+            "campaign-b": pytest.approx(2.0)
+        }
+        assert acc.spent_by_label("stranger") == {}
+
+    def test_spent_by_label_preserves_first_charge_order(self):
+        acc = PrivacyAccountant(4.0)
+        acc.charge("u1", 1.0, "z-last-alphabetically")
+        acc.charge("u1", 1.0, "a-first-alphabetically")
+        assert list(acc.spent_by_label("u1")) == [
+            "z-last-alphabetically",
+            "a-first-alphabetically",
+        ]
 
 
 class TestSerialization:

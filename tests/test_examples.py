@@ -83,6 +83,17 @@ class TestExamplesRun:
         assert "charged 4000 users" in out
         assert "95% intervals" in out
 
+    def test_multi_campaign_service(self, capsys, monkeypatch):
+        module = _load("multi_campaign_service")
+        monkeypatch.setattr(module, "N_USERS", 4_000)
+        monkeypatch.setattr(module, "BATCHES", 2)
+        module.main()
+        out = capsys.readouterr().out
+        assert "registered A/B campaign" in out
+        assert "cross-campaign budget" in out
+        assert "estimates identical: True" in out
+        assert "state=estimated" in out
+
     def test_ldp_neural_network(self, capsys, monkeypatch):
         module = _load("ldp_neural_network")
         monkeypatch.setattr(module, "N_USERS", 8_000)
@@ -128,6 +139,7 @@ class TestExamplesRun:
             "private_sgd",
             "distribution_estimation",
             "streaming_deployment",
+            "multi_campaign_service",
             "ldp_neural_network",
             "dependency_mining",
         }

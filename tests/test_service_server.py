@@ -427,8 +427,8 @@ class TestCommandLine:
         assert "final checkpoint" in out
         assert SnapshotStore(tmp_path / "snaps").latest_sequence() == 1
 
-    def test_cli_requires_spec(self):
-        from repro.service.__main__ import build_parser
+    def test_cli_requires_spec_or_campaigns(self):
+        from repro.service.__main__ import main
 
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
