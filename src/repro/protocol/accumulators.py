@@ -22,7 +22,7 @@ shards is exact for counts and agrees to ~1e-15 relative for sums.
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
 
@@ -32,6 +32,10 @@ from repro.protocol.reports import SampledNumericReports
 # NOTE: repro.multidim is imported lazily (inside MixedAccumulator
 # methods) because repro.multidim.streaming subclasses the accumulators
 # defined here; a top-level import in either direction would cycle.
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.frequency.histogram import HistogramEstimate
+    from repro.multidim.aggregator import MixedEstimates
 
 
 class ServerAccumulator(abc.ABC):
@@ -48,7 +52,7 @@ class ServerAccumulator(abc.ABC):
     """
 
     @abc.abstractmethod
-    def absorb(self, reports) -> "ServerAccumulator":
+    def absorb(self, reports: Any) -> "ServerAccumulator":
         """Fold in one batch of reports; retains no report.
 
         Absorbing an *empty* batch (zero reports, e.g. from an empty
@@ -63,7 +67,7 @@ class ServerAccumulator(abc.ABC):
         """Fold another accumulator's state into this one."""
 
     @abc.abstractmethod
-    def estimate(self):
+    def estimate(self) -> Any:
         """Current unbiased estimate; raises ``ValueError`` with no data."""
 
     @property
@@ -91,7 +95,7 @@ class ServerAccumulator(abc.ABC):
             f"{type(self).__name__} does not support state snapshots"
         )
 
-    def _require_reports(self):
+    def _require_reports(self) -> None:
         if self.count == 0:
             raise ValueError("no reports received yet")
 
@@ -108,11 +112,11 @@ class MeanAccumulator(ServerAccumulator):
     :meth:`repro.core.mechanism.NumericMechanism.estimate_mean`).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._sum = 0.0
         self._count = 0
 
-    def absorb(self, reports) -> "MeanAccumulator":
+    def absorb(self, reports: Any) -> "MeanAccumulator":
         arr = np.atleast_1d(np.asarray(reports, dtype=float))
         if arr.ndim != 1:
             raise ValueError(
@@ -122,7 +126,7 @@ class MeanAccumulator(ServerAccumulator):
         self._count += arr.shape[0]
         return self
 
-    def merge(self, other: "MeanAccumulator") -> "MeanAccumulator":
+    def merge(self, other: "ServerAccumulator") -> "MeanAccumulator":
         if not isinstance(other, MeanAccumulator):
             raise ValueError(
                 f"cannot merge {type(other).__name__} into MeanAccumulator"
@@ -156,14 +160,14 @@ class MultidimMeanAccumulator(ServerAccumulator):
     only the d running sums and the user count.
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
         self._sums = np.zeros(self.d)
         self._count = 0
 
-    def absorb(self, reports) -> "MultidimMeanAccumulator":
+    def absorb(self, reports: Any) -> "MultidimMeanAccumulator":
         if isinstance(reports, SampledNumericReports):
             if reports.d != self.d:
                 raise ValueError(
@@ -192,7 +196,7 @@ class MultidimMeanAccumulator(ServerAccumulator):
         self._count += arr.shape[0]
         return self
 
-    def merge(self, other: "MultidimMeanAccumulator") -> "MultidimMeanAccumulator":
+    def merge(self, other: "ServerAccumulator") -> "MultidimMeanAccumulator":
         if not isinstance(other, MultidimMeanAccumulator) or other.d != self.d:
             raise ValueError("cannot merge aggregators of different d")
         self._sums += other._sums
@@ -231,17 +235,17 @@ class FrequencyAccumulator(ServerAccumulator):
     absorb/merge order never changes the estimate.
     """
 
-    def __init__(self, oracle: FrequencyOracle):
+    def __init__(self, oracle: FrequencyOracle) -> None:
         self.oracle = oracle
         self._support = np.zeros(oracle.k)
         self._count = 0
 
-    def absorb(self, reports) -> "FrequencyAccumulator":
+    def absorb(self, reports: Any) -> "FrequencyAccumulator":
         self._support += self.oracle.support_counts(reports)
         self._count += self.oracle._n_reports(reports)
         return self
 
-    def merge(self, other: "FrequencyAccumulator") -> "FrequencyAccumulator":
+    def merge(self, other: "ServerAccumulator") -> "FrequencyAccumulator":
         if not isinstance(other, FrequencyAccumulator):
             raise ValueError(
                 f"cannot merge {type(other).__name__} into "
@@ -299,7 +303,9 @@ class HistogramAccumulator(FrequencyAccumulator):
     :meth:`repro.frequency.histogram.LDPHistogram.estimate` does.
     """
 
-    def __init__(self, oracle: FrequencyOracle, edges, postprocess: str):
+    def __init__(
+        self, oracle: FrequencyOracle, edges: Any, postprocess: str
+    ) -> None:
         super().__init__(oracle)
         self.edges = np.asarray(edges, dtype=float)
         if self.edges.shape != (oracle.k + 1,):
@@ -309,7 +315,7 @@ class HistogramAccumulator(FrequencyAccumulator):
             )
         self.postprocess = postprocess
 
-    def merge(self, other: "FrequencyAccumulator") -> "HistogramAccumulator":
+    def merge(self, other: "ServerAccumulator") -> "HistogramAccumulator":
         if not isinstance(other, HistogramAccumulator):
             raise ValueError(
                 f"cannot merge {type(other).__name__} into "
@@ -326,7 +332,7 @@ class HistogramAccumulator(FrequencyAccumulator):
         super().merge(other)
         return self
 
-    def estimate(self):
+    def estimate(self) -> "HistogramEstimate":
         from repro.frequency.histogram import HistogramEstimate, LDPHistogram
         from repro.frequency.postprocess import postprocess as run_postprocess
 
@@ -353,11 +359,11 @@ class MixedAccumulator(ServerAccumulator):
 
     def __init__(
         self,
-        schema,
+        schema: Any,
         oracles: Dict[str, FrequencyOracle],
         d: int,
         k: int,
-    ):
+    ) -> None:
         self.schema = schema
         self.d = int(d)
         self.k = int(k)
@@ -369,7 +375,7 @@ class MixedAccumulator(ServerAccumulator):
         self._users = 0
 
     @classmethod
-    def for_collector(cls, collector) -> "MixedAccumulator":
+    def for_collector(cls, collector: Any) -> "MixedAccumulator":
         """The accumulator matching a ``MixedMultidimCollector``."""
         return cls(
             schema=collector.schema,
@@ -378,7 +384,7 @@ class MixedAccumulator(ServerAccumulator):
             k=collector.k,
         )
 
-    def absorb(self, reports) -> "MixedAccumulator":
+    def absorb(self, reports: Any) -> "MixedAccumulator":
         numeric = np.asarray(reports.numeric, dtype=float)
         if numeric.ndim != 2 or numeric.shape[1] != self._numeric_sums.shape[0]:
             raise ValueError(
@@ -397,7 +403,7 @@ class MixedAccumulator(ServerAccumulator):
         self._users += reports.n
         return self
 
-    def merge(self, other: "MixedAccumulator") -> "MixedAccumulator":
+    def merge(self, other: "ServerAccumulator") -> "MixedAccumulator":
         if (
             not isinstance(other, MixedAccumulator)
             or other.schema.names != self.schema.names

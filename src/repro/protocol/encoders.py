@@ -18,6 +18,7 @@ fully determines its protocol.
 from __future__ import annotations
 
 import abc
+from typing import Any
 
 import numpy as np
 
@@ -50,7 +51,7 @@ class ClientEncoder(abc.ABC):
     """
 
     @abc.abstractmethod
-    def encode_batch(self, values, rng: RngLike = None):
+    def encode_batch(self, values: Any, rng: RngLike = None) -> Any:
         """Perturb a batch of true values into transmit-ready reports.
 
         An *empty* batch (zero values) is valid for every encoder and
@@ -64,17 +65,17 @@ class ClientEncoder(abc.ABC):
     def new_accumulator(self) -> ServerAccumulator:
         """A fresh server accumulator matching this encoder."""
 
-    def __call__(self, values, rng: RngLike = None):
+    def __call__(self, values: Any, rng: RngLike = None) -> Any:
         return self.encode_batch(values, rng)
 
 
 class NumericMeanEncoder(ClientEncoder):
     """Adapter over any 1-D :class:`NumericMechanism` (mean protocol)."""
 
-    def __init__(self, mechanism: NumericMechanism):
+    def __init__(self, mechanism: NumericMechanism) -> None:
         self.mechanism = mechanism
 
-    def encode_batch(self, values, rng: RngLike = None) -> np.ndarray:
+    def encode_batch(self, values: Any, rng: RngLike = None) -> np.ndarray:
         return np.atleast_1d(self.mechanism.privatize(values, rng))
 
     def new_accumulator(self) -> MeanAccumulator:
@@ -87,10 +88,10 @@ class NumericMeanEncoder(ClientEncoder):
 class FrequencyEncoder(ClientEncoder):
     """Adapter over any :class:`FrequencyOracle` (frequency protocol)."""
 
-    def __init__(self, oracle: FrequencyOracle):
+    def __init__(self, oracle: FrequencyOracle) -> None:
         self.oracle = oracle
 
-    def encode_batch(self, values, rng: RngLike = None):
+    def encode_batch(self, values: Any, rng: RngLike = None) -> Any:
         return self.oracle.privatize(values, rng)
 
     def new_accumulator(self) -> FrequencyAccumulator:
@@ -103,10 +104,10 @@ class FrequencyEncoder(ClientEncoder):
 class HistogramEncoder(ClientEncoder):
     """Bucketize-then-perturb encoder for distribution estimation."""
 
-    def __init__(self, histogram: LDPHistogram):
+    def __init__(self, histogram: LDPHistogram) -> None:
         self.histogram = histogram
 
-    def encode_batch(self, values, rng: RngLike = None):
+    def encode_batch(self, values: Any, rng: RngLike = None) -> Any:
         return self.histogram.privatize(values, rng)
 
     def new_accumulator(self) -> HistogramAccumulator:
@@ -133,11 +134,11 @@ class MultidimNumericEncoder(ClientEncoder):
     seed-matched runs agree with the legacy path.
     """
 
-    def __init__(self, collector: MultidimNumericCollector):
+    def __init__(self, collector: MultidimNumericCollector) -> None:
         self.collector = collector
 
     def encode_batch(
-        self, tuples, rng: RngLike = None
+        self, tuples: Any, rng: RngLike = None
     ) -> SampledNumericReports:
         c = self.collector
         gen = ensure_rng(rng)
@@ -158,10 +159,10 @@ class MultidimNumericEncoder(ClientEncoder):
 class MixedEncoder(ClientEncoder):
     """Section IV-C client for mixed numeric + categorical tuples."""
 
-    def __init__(self, collector: MixedMultidimCollector):
+    def __init__(self, collector: MixedMultidimCollector) -> None:
         self.collector = collector
 
-    def encode_batch(self, dataset, rng: RngLike = None):
+    def encode_batch(self, dataset: Any, rng: RngLike = None) -> Any:
         return self.collector.privatize(dataset, rng)
 
     def new_accumulator(self) -> MixedAccumulator:

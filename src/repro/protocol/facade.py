@@ -22,9 +22,11 @@ Sharding is merging:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Union, cast
 
+from repro.core.mechanism import NumericMechanism
 from repro.frequency.histogram import LDPHistogram
+from repro.frequency.oracle import FrequencyOracle
 from repro.multidim.collector import (
     MixedMultidimCollector,
     MultidimNumericCollector,
@@ -45,20 +47,34 @@ from repro.utils.rng import RngLike
 
 def _build_encoder(spec: ProtocolSpec) -> ClientEncoder:
     """Instantiate the client encoder a spec describes."""
+    # The asserts restate what ProtocolSpec.__post_init__ already
+    # enforced per kind (its requirements table), narrowing the
+    # Optional fields for the constructors below.
     if spec.kind == "mean":
+        assert spec.mechanism is not None
         return NumericMeanEncoder(
-            get_primitive(spec.mechanism, spec.epsilon, kind="numeric")
+            cast(
+                NumericMechanism,
+                get_primitive(spec.mechanism, spec.epsilon, kind="numeric"),
+            )
         )
     if spec.kind == "frequency":
+        assert spec.oracle is not None
         return FrequencyEncoder(
-            get_primitive(
-                spec.oracle,
-                spec.epsilon,
-                domain=spec.domain,
-                kind="categorical",
+            cast(
+                FrequencyOracle,
+                get_primitive(
+                    spec.oracle,
+                    spec.epsilon,
+                    domain=spec.domain,
+                    kind="categorical",
+                ),
             )
         )
     if spec.kind == "histogram":
+        assert spec.oracle is not None
+        assert spec.bins is not None
+        assert spec.postprocess is not None
         return HistogramEncoder(
             LDPHistogram(
                 spec.epsilon,
@@ -68,12 +84,17 @@ def _build_encoder(spec: ProtocolSpec) -> ClientEncoder:
             )
         )
     if spec.kind == "multidim-numeric":
+        assert spec.mechanism is not None
+        assert spec.d is not None
         return MultidimNumericEncoder(
             MultidimNumericCollector(
                 spec.epsilon, spec.d, mechanism=spec.mechanism, k=spec.k
             )
         )
     if spec.kind == "multidim-mixed":
+        assert spec.mechanism is not None
+        assert spec.oracle is not None
+        assert spec.schema is not None
         return MixedEncoder(
             MixedMultidimCollector(
                 spec.schema,
@@ -89,7 +110,7 @@ def _build_encoder(spec: ProtocolSpec) -> ClientEncoder:
 class Protocol:
     """A configured LDP protocol: spec + client encoder + server factory."""
 
-    def __init__(self, spec: ProtocolSpec):
+    def __init__(self, spec: ProtocolSpec) -> None:
         self._spec = spec
         self._encoder = _build_encoder(spec)
 
@@ -138,7 +159,7 @@ class Protocol:
         cls,
         epsilon: float,
         d: Optional[int] = None,
-        schema=None,
+        schema: Any = None,
         mechanism: str = "hm",
         oracle: str = "oue",
         k: Optional[int] = None,
@@ -207,7 +228,7 @@ class Protocol:
         return self._encoder.new_accumulator()
 
     # ------------------------------------------------------------------
-    def run(self, values, rng: RngLike = None):
+    def run(self, values: Any, rng: RngLike = None) -> Any:
         """Encode one batch and estimate — the one-machine convenience."""
         return (
             self.server().absorb(self._encoder.encode_batch(values, rng))

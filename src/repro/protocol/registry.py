@@ -10,7 +10,7 @@ configs can therefore name primitives uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.mechanism import (
     NumericMechanism,
@@ -65,7 +65,7 @@ def get_primitive(
     epsilon: float,
     domain: Optional[int] = None,
     kind: Optional[str] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Primitive:
     """Instantiate any registered primitive by name.
 

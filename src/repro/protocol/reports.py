@@ -45,7 +45,7 @@ class SampledNumericReports:
     cols: np.ndarray
     values: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.cols = np.asarray(self.cols, dtype=np.int64)
         self.values = np.asarray(self.values, dtype=float)
         if self.cols.ndim != 2 or self.cols.shape != self.values.shape:

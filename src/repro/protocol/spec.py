@@ -9,10 +9,11 @@ pairs with ``Protocol.from_spec(...)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.validation import check_epsilon
 from repro.data.schema import (
+    Attribute,
     CategoricalAttribute,
     NumericAttribute,
     Schema,
@@ -37,9 +38,9 @@ SPEC_MAJOR, SPEC_MINOR = (int(part) for part in SPEC_VERSION.split("."))
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:
     """JSON-friendly encoding of a :class:`Schema`."""
-    attributes = []
+    attributes: List[Dict[str, Any]] = []
     for a in schema.attributes:
-        if a.is_numeric:
+        if isinstance(a, NumericAttribute):
             attributes.append(
                 {
                     "name": a.name,
@@ -61,7 +62,7 @@ def schema_to_dict(schema: Schema) -> Dict[str, Any]:
 
 def schema_from_dict(payload: Dict[str, Any]) -> Schema:
     """Inverse of :func:`schema_to_dict`."""
-    attributes = []
+    attributes: List[Attribute] = []
     for spec in payload["attributes"]:
         kind = spec.get("type")
         if kind == "numeric":
@@ -114,7 +115,7 @@ class ProtocolSpec:
     postprocess: Optional[str] = None
     schema: Optional[Schema] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in PROTOCOL_KINDS:
             raise ValueError(
                 f"kind must be one of {PROTOCOL_KINDS}, got {self.kind!r}"

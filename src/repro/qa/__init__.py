@@ -1,0 +1,48 @@
+"""Static enforcement of the repo's runtime contracts.
+
+Every guarantee the runtime layers sell — bitwise determinism across
+executors, never-silent mis-aggregation, atomic whole-batch budget
+rejection, bitwise kill-and-resume — can be silently voided by a
+single careless edit long before any test notices.  This package is a
+small AST/import-graph analysis suite whose rules encode those
+contracts so violations fail at review time:
+
+==========  ==========================================================
+rule id     contract
+==========  ==========================================================
+``QA101``   RNG discipline: no global-state ``np.random.*`` /
+            ``random.*`` calls; randomness flows through explicit
+            generators (``utils.rng.ensure_rng``).
+``QA201``   Privacy boundary: server-tier modules never import
+            client-side raw-value encoding internals.
+``QA301``   Atomicity: no ``await`` between a ledger charge and its
+            paired ``absorb`` in service handlers.
+``QA401``   Snapshot completeness: every ``ServerAccumulator``
+            subclass is fully snapshot-capable and every sufficient
+            statistic appears in ``state_dict``.
+``QA501``   Wire-codec exhaustiveness: every report container has a
+            codec entry in ``repro.service.wire``.
+``QA601``   Exception hygiene: no bare / silently swallowed blanket
+            ``except``.
+==========  ==========================================================
+
+Run it with ``python -m repro.qa.lint [paths]``; suppress a single
+finding with a ``# qa: allow[QA101]`` comment on (or directly above)
+the offending line.
+"""
+
+from repro.qa.core import Module, Project, Rule, Violation, load_project
+from repro.qa.driver import lint_paths, lint_project
+from repro.qa.rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "Module",
+    "Project",
+    "Rule",
+    "Violation",
+    "get_rule",
+    "lint_paths",
+    "lint_project",
+    "load_project",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.qa`` — alias for ``python -m repro.qa.lint``."""
+
+import sys
+
+from repro.qa.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""The lint driver and CLI: ``python -m repro.qa.lint [paths]``.
+
+Parses every target file once, runs each registered rule over the
+shared :class:`~repro.qa.core.Project`, filters ``# qa: allow[...]``
+suppressions, and reports either human-readable ``path:line:col:
+RULE message`` lines or a machine-readable JSON document
+(``--format json``) for CI annotation tooling.  Exit status: 0 clean,
+1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.qa.core import Project, Violation, load_project
+from repro.qa.rules import ALL_RULES
+
+#: JSON output document version (bump on breaking shape changes).
+OUTPUT_VERSION = 1
+
+
+def lint_project(
+    project: Project, rule_ids: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run (selected) rules over an already-loaded project.
+
+    Returns surviving violations — parse failures first, then rule
+    findings with suppressed ones removed — sorted by location.
+    """
+    selected = [
+        rule
+        for rule in ALL_RULES
+        if rule_ids is None or rule.id in rule_ids
+    ]
+    violations: List[Violation] = list(project.errors)
+    for rule in selected:
+        for violation in rule.check(project):
+            module = next(
+                (
+                    m
+                    for m in project.modules
+                    if str(m.path) == violation.path
+                ),
+                None,
+            )
+            if module is not None and module.is_suppressed(violation):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def lint_paths(
+    paths: Iterable[Path], rule_ids: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Load ``paths`` and lint them; the library entry point."""
+    return lint_project(load_project(paths), rule_ids)
+
+
+def _render_json(violations: List[Violation], checked: int) -> str:
+    return json.dumps(
+        {
+            "version": OUTPUT_VERSION,
+            "checked_files": checked,
+            "rules": [
+                {
+                    "id": rule.id,
+                    "name": rule.name,
+                    "description": rule.description,
+                }
+                for rule in ALL_RULES
+            ],
+            "violations": [v.to_dict() for v in violations],
+        },
+        indent=2,
+        sort_keys=False,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa.lint",
+        description=(
+            "Statically enforce the repo's privacy, determinism and "
+            "crash-safety contracts (rules QA101..QA601). Suppress a "
+            "single finding with a '# qa: allow[QA101]' comment on or "
+            "directly above the offending line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="QAxxx",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    known = {rule.id for rule in ALL_RULES}
+    if args.rules:
+        unknown = sorted(set(args.rules) - known)
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(unknown)}")
+
+    targets = [Path(p) for p in args.paths]
+    missing = [p for p in targets if not p.exists()]
+    if missing:
+        parser.error(
+            f"no such file or directory: "
+            f"{', '.join(str(p) for p in missing)}"
+        )
+
+    project = load_project(targets)
+    violations = lint_project(project, args.rules)
+
+    if args.format == "json":
+        print(_render_json(violations, len(project.modules)))
+    else:
+        for violation in violations:
+            print(violation.render())
+        summary = (
+            f"{len(violations)} violation"
+            f"{'' if len(violations) == 1 else 's'} in "
+            f"{len(project.modules)} files"
+        )
+        print(("FAIL: " if violations else "OK: ") + summary)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

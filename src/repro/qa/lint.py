@@ -1,0 +1,15 @@
+"""CLI entry point: ``python -m repro.qa.lint [paths]``.
+
+The actual driver lives in :mod:`repro.qa.driver`; this module exists
+so the documented command has a stable spelling (and so running it
+with ``-m`` does not shadow the module the package itself imports).
+"""
+
+import sys
+
+from repro.qa.driver import lint_paths, lint_project, main
+
+__all__ = ["lint_paths", "lint_project", "main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

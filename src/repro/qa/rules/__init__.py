@@ -1,0 +1,47 @@
+"""The rule registry: one module per invariant, stable ids.
+
+Rule ids are append-only: an id is never renumbered or reused, so
+``# qa: allow[...]`` comments and CI configuration stay meaningful
+across releases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.qa.core import Rule
+from repro.qa.rules.rng import RngDisciplineRule
+from repro.qa.rules.boundary import PrivacyBoundaryRule
+from repro.qa.rules.atomicity import ChargeAbsorbAtomicityRule
+from repro.qa.rules.snapshots import SnapshotCompletenessRule
+from repro.qa.rules.wirecodec import WireCodecExhaustivenessRule
+from repro.qa.rules.exceptions import ExceptionHygieneRule
+
+#: Every shipped rule, in id order.
+ALL_RULES: List[Rule] = [
+    RngDisciplineRule(),
+    PrivacyBoundaryRule(),
+    ChargeAbsorbAtomicityRule(),
+    SnapshotCompletenessRule(),
+    WireCodecExhaustivenessRule(),
+    ExceptionHygieneRule(),
+]
+
+_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look a rule up by its stable id (``KeyError`` if unknown)."""
+    return _BY_ID[rule_id]
+
+
+__all__ = [
+    "ALL_RULES",
+    "ChargeAbsorbAtomicityRule",
+    "ExceptionHygieneRule",
+    "PrivacyBoundaryRule",
+    "RngDisciplineRule",
+    "SnapshotCompletenessRule",
+    "WireCodecExhaustivenessRule",
+    "get_rule",
+]

@@ -1,0 +1,96 @@
+"""QA101 — RNG discipline: no global-state randomness.
+
+The runtime's determinism guarantee (PR 2: a planned run's result
+depends only on the plan, never on the executor) holds because every
+random draw flows through an explicit ``numpy.random.Generator``
+threaded from a seed, via ``repro.utils.rng.ensure_rng``.  A single
+``np.random.seed`` / ``np.random.uniform`` / ``random.random`` call
+reads or mutates interpreter-global state: results then depend on
+import order, thread scheduling and whoever else touched the global
+stream — silently voiding seed-matched equivalence tests and bitwise
+shard merges.
+
+Flagged: any call resolving to the ``numpy.random`` or ``random``
+*module* namespace, except constructors of explicit, self-contained
+generator objects (``default_rng``, ``Generator``, ``SeedSequence``,
+bit generators, ``random.Random``/``SystemRandom``).  Methods on
+generator instances (``rng.random()``) never resolve to a module and
+are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.qa.core import Module, Project, Rule, Violation
+
+#: numpy.random attributes that construct explicit generator objects
+#: (allowed) rather than touching the hidden global RandomState.
+_NUMPY_EXPLICIT = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "default_rng",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+#: stdlib ``random`` attributes that construct self-contained
+#: generator instances (allowed).
+_STDLIB_EXPLICIT = {"Random", "SystemRandom"}
+
+
+class RngDisciplineRule(Rule):
+    id = "QA101"
+    name = "rng-discipline"
+    description = (
+        "randomness must flow through an explicit numpy Generator / "
+        "random.Random (utils.rng.ensure_rng); module-global "
+        "np.random.* and random.* calls break executor-independent "
+        "determinism"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_call_path(node.func)
+            if dotted is None:
+                continue
+            offense = self._offending(dotted)
+            if offense is not None:
+                yield self.violation(module, node, offense)
+
+    @staticmethod
+    def _offending(dotted: str):
+        """Message for a banned call path, else ``None``."""
+        parts = dotted.split(".")
+        if (
+            parts[:2] == ["numpy", "random"]
+            and len(parts) >= 3
+            and parts[2] not in _NUMPY_EXPLICIT
+        ):
+            return (
+                f"call to numpy.random.{'.'.join(parts[2:])} uses the "
+                f"global numpy RandomState; thread an explicit "
+                f"np.random.Generator (utils.rng.ensure_rng) instead"
+            )
+        if (
+            parts[0] == "random"
+            and len(parts) >= 2
+            and parts[1] not in _STDLIB_EXPLICIT
+        ):
+            return (
+                f"call to random.{'.'.join(parts[1:])} uses the "
+                f"module-global stdlib generator; instantiate a seedable "
+                f"random.Random and call it instead"
+            )
+        return None

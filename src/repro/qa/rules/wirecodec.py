@@ -1,0 +1,102 @@
+"""QA501 — wire-codec exhaustiveness for report containers.
+
+The service's never-silent-mis-aggregation guarantee (PR 3) assumes
+every report container a protocol can emit has a bitwise codec entry
+in ``repro.service.wire`` — ``encode_reports`` type-tags it,
+``decode_reports`` rebuilds it.  A new container class added to
+``repro.protocol.reports`` without a codec entry only fails at
+runtime, on the first live submission of that protocol kind, with a
+generic ``cannot encode report container`` — long after review.
+
+This rule checks statically that every class defined at the top level
+of ``repro.protocol.reports`` is referenced by name in *both*
+``encode_reports`` and ``decode_reports`` of ``repro.service.wire``.
+The check runs only when both modules are in the linted set (the full
+``src`` run CI gates on).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.qa.core import Module, Project, Rule, Violation
+
+#: Module defining the report containers.
+REPORTS_MODULE = "repro.protocol.reports"
+
+#: Module that must provide a codec entry per container.
+CODEC_MODULE = "repro.service.wire"
+
+#: The two codec functions every container must appear in.
+CODEC_FUNCTIONS = ("encode_reports", "decode_reports")
+
+
+def _top_level_classes(module: Module) -> Iterator[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def _function(module: Module, name: str) -> Optional[ast.AST]:
+    for node in module.tree.body:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name
+        ):
+            return node
+    return None
+
+
+def _referenced_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class WireCodecExhaustivenessRule(Rule):
+    id = "QA501"
+    name = "wire-codec-exhaustiveness"
+    description = (
+        "every report container class in protocol/reports.py needs a "
+        "codec entry in service/wire.py (encode_reports AND "
+        "decode_reports) — an unregistered container only fails on "
+        "the first live submission"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        reports = project.find(REPORTS_MODULE)
+        codec = project.find(CODEC_MODULE)
+        if reports is None or codec is None:
+            return  # partial runs (single files) cannot do this check
+        functions = {}
+        for name in CODEC_FUNCTIONS:
+            func = _function(codec, name)
+            if func is None:
+                yield Violation(
+                    rule=self.id,
+                    path=str(codec.path),
+                    line=1,
+                    col=1,
+                    message=(
+                        f"codec module {codec.name} does not define "
+                        f"{name}(); the wire codec surface is gone"
+                    ),
+                )
+                return
+            functions[name] = _referenced_names(func)
+        for cls in _top_level_classes(reports):
+            for name, referenced in functions.items():
+                if cls.name not in referenced:
+                    yield self.violation(
+                        reports,
+                        cls,
+                        f"report container {cls.name} has no codec "
+                        f"entry in {codec.name}.{name}(); a batch of "
+                        f"these reports cannot cross the service "
+                        f"boundary",
+                    )

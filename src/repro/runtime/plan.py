@@ -96,7 +96,7 @@ class ShardPlan:
     seed: int
     batch_size: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n < 0:
             raise ValueError(f"n must be non-negative, got {self.n}")
         if self.num_shards < 1:

@@ -33,7 +33,16 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from typing import Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 import numpy as np
 
@@ -41,11 +50,14 @@ from repro.protocol.accumulators import ServerAccumulator
 from repro.runtime.plan import Shard, ShardPlan
 from repro.utils.rng import RngLike, ensure_rng
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.encoders import ClientEncoder
+
 #: Executor names accepted by :class:`ParallelRunner`.
 EXECUTORS = ("serial", "thread", "process")
 
 
-def _resolve_encoder(protocol_or_encoder):
+def _resolve_encoder(protocol_or_encoder: Any) -> "ClientEncoder":
     """Accept either a Protocol facade or a bare ClientEncoder."""
     client = getattr(protocol_or_encoder, "client", None)
     if callable(client):
@@ -53,7 +65,7 @@ def _resolve_encoder(protocol_or_encoder):
     return protocol_or_encoder
 
 
-def _slice_workload(values, start: int, stop: int):
+def _slice_workload(values: Any, start: int, stop: int) -> Any:
     """Extract users [start, stop) from any supported workload form.
 
     Supported: numpy arrays / anything sliceable (row range), objects
@@ -70,8 +82,8 @@ def _slice_workload(values, start: int, stop: int):
 
 
 def _encode_shard(
-    encoder,
-    chunk,
+    encoder: "ClientEncoder",
+    chunk: Any,
     seed_sequence: np.random.SeedSequence,
     batch_size: Optional[int],
 ) -> ServerAccumulator:
@@ -103,7 +115,7 @@ class ParallelRunner:
     """
 
     def __init__(self, executor: str = "serial",
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
@@ -117,7 +129,7 @@ class ParallelRunner:
 
     # ------------------------------------------------------------------
     def _shard_accumulators(
-        self, encoder, values, shards: Sequence[Shard],
+        self, encoder: "ClientEncoder", values: Any, shards: Sequence[Shard],
         batch_size: Optional[int],
     ) -> Tuple[ServerAccumulator, ...]:
         if self.executor == "serial":
@@ -152,14 +164,15 @@ class ParallelRunner:
 
     @staticmethod
     def _drain_pool(
-        pool, workers: int, encoder, values, shards: Sequence[Shard],
+        pool: Any, workers: int, encoder: "ClientEncoder", values: Any,
+        shards: Sequence[Shard],
         batch_size: Optional[int],
     ) -> Tuple[ServerAccumulator, ...]:
         """Windowed submission: at most ``workers`` shard chunks are
         sliced and in flight at once, so driver memory stays
         O(workers * shard size) for arbitrarily large workloads."""
-        results = [None] * len(shards)
-        pending = {}
+        results: List[Optional[ServerAccumulator]] = [None] * len(shards)
+        pending: Dict[Any, int] = {}
         queue = iter(shards)
 
         def submit_next() -> bool:
@@ -183,10 +196,10 @@ class ParallelRunner:
             for future in done:
                 results[pending.pop(future)] = future.result()
                 submit_next()
-        return tuple(results)
+        return cast(Tuple[ServerAccumulator, ...], tuple(results))
 
     def run(
-        self, protocol_or_encoder, values, plan: ShardPlan
+        self, protocol_or_encoder: Any, values: Any, plan: ShardPlan
     ) -> ServerAccumulator:
         """Execute the plan; returns the merged accumulator.
 
@@ -197,7 +210,7 @@ class ParallelRunner:
         """
         encoder = _resolve_encoder(protocol_or_encoder)
         try:
-            size = len(values)
+            size: Optional[int] = len(values)
         except TypeError:
             size = None  # loader callables carry no length
         if size is not None and size != plan.n:
@@ -223,8 +236,8 @@ class ParallelRunner:
 # Conveniences
 # ----------------------------------------------------------------------
 def run_inline(
-    protocol_or_encoder,
-    values,
+    protocol_or_encoder: Any,
+    values: Any,
     rng: RngLike = None,
     batch_size: Optional[int] = None,
 ) -> ServerAccumulator:
@@ -254,8 +267,8 @@ def run_inline(
 
 
 def run_auto(
-    protocol_or_encoder,
-    values,
+    protocol_or_encoder: Any,
+    values: Any,
     rng: RngLike = None,
     *,
     num_shards: int = 1,
@@ -285,8 +298,8 @@ def run_auto(
 
 
 def run_sharded(
-    protocol_or_encoder,
-    values,
+    protocol_or_encoder: Any,
+    values: Any,
     *,
     plan: Optional[ShardPlan] = None,
     num_shards: Optional[int] = None,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Optional
+from typing import Any, Callable, Deque, NoReturn, Optional
 
 import numpy as np
 
@@ -73,13 +73,13 @@ class StreamingRunner:
 
     def __init__(
         self,
-        protocol_or_encoder,
+        protocol_or_encoder: Any,
         seed: Optional[int] = None,
         max_pending: int = 4,
         max_workers: Optional[int] = None,
         checkpoint_every: Optional[int] = None,
         on_checkpoint: Optional[Callable] = None,
-    ):
+    ) -> None:
         if max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1, got {max_pending}"
@@ -105,7 +105,7 @@ class StreamingRunner:
         self._pool = (
             ThreadPoolExecutor(max_workers=workers) if workers else None
         )
-        self._pending = deque()
+        self._pending: Deque[Any] = deque()
         self._batches = 0
         self._absorbed = 0
         self._closed = False
@@ -127,9 +127,10 @@ class StreamingRunner:
             self._checkpoint_every is not None
             and self._absorbed % self._checkpoint_every == 0
         ):
+            assert self._on_checkpoint is not None
             self._on_checkpoint(self._accumulator, self._absorbed)
 
-    def _fail(self, exc: BaseException) -> None:
+    def _fail(self, exc: BaseException) -> NoReturn:
         """Tear down after a failed encode; re-raise the error once."""
         self._failure = exc
         self._closed = True
@@ -159,7 +160,7 @@ class StreamingRunner:
         self._accumulator.absorb(reports)
         self._absorbed_one()
 
-    def submit(self, values, rng: RngLike = None) -> "StreamingRunner":
+    def submit(self, values: Any, rng: RngLike = None) -> "StreamingRunner":
         """Queue one arriving batch of raw values for encode + absorb."""
         self._check_usable()
         gen = self._next_rng() if rng is None else ensure_rng(rng)
@@ -215,7 +216,7 @@ class StreamingRunner:
     def __enter__(self) -> "StreamingRunner":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         # After a failure the pool is already down and pending cleared;
         # calling finish() again would mask the propagating exception
         # with the secondary RuntimeError.

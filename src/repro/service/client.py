@@ -90,6 +90,12 @@ class ServiceClient:
         Exponential backoff base and cap: attempt k sleeps
         ``min(retry_delay * 2**(k-1), retry_max_delay)`` scaled by a
         uniform jitter in [0.5, 1].
+    backoff_rng:
+        The ``random.Random`` instance drawing the jitter.  Defaults
+        to a fresh OS-seeded instance per client; pass a seeded one to
+        make retry timing deterministic in tests.  Never the module
+        globals — backoff draws must not perturb (or be perturbed by)
+        any other consumer of ``random``.
     campaign:
         Campaign fingerprint this client addresses; ``None`` targets
         the server's default campaign.
@@ -103,6 +109,7 @@ class ServiceClient:
         retries: int = 2,
         retry_delay: float = 0.1,
         retry_max_delay: float = 2.0,
+        backoff_rng: Optional[random.Random] = None,
         campaign: Optional[str] = None,
     ):
         self.host = host
@@ -111,6 +118,9 @@ class ServiceClient:
         self.retries = int(retries)
         self.retry_delay = float(retry_delay)
         self.retry_max_delay = float(retry_max_delay)
+        self.backoff_rng = (
+            backoff_rng if backoff_rng is not None else random.Random()
+        )
         self.campaign = campaign
         self._protocol: Optional[Protocol] = None
         self._fingerprint: Optional[str] = None
@@ -138,6 +148,7 @@ class ServiceClient:
             retries=self.retries,
             retry_delay=self.retry_delay,
             retry_max_delay=self.retry_max_delay,
+            backoff_rng=self.backoff_rng,
             campaign=str(campaign),
         )
 
@@ -156,7 +167,7 @@ class ServiceClient:
         base = min(
             self.retry_delay * (2.0 ** (attempt - 1)), self.retry_max_delay
         )
-        return base * (0.5 + 0.5 * random.random())
+        return base * (0.5 + 0.5 * self.backoff_rng.random())
 
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None

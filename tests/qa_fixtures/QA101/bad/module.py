@@ -1,0 +1,14 @@
+"""Global-state randomness: every call in draw() violates QA101."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+
+def draw():
+    np.random.seed(0)
+    a = np.random.normal()
+    b = random.random()
+    c = rand(3)
+    return a, b, c

@@ -1,0 +1,12 @@
+"""Clean RNG usage: every draw flows through an explicit generator."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    backoff = random.Random(seed)
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    return rng.normal(), backoff.random(), np.random.default_rng(child)

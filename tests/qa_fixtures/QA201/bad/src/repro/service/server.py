@@ -1,0 +1,9 @@
+"""Server-tier module reaching into client-side encoding internals."""
+
+from repro.protocol.encoders import NumericMeanEncoder
+
+
+def handle(batch):
+    import repro.core.mechanism
+
+    return NumericMeanEncoder, repro.core.mechanism, batch

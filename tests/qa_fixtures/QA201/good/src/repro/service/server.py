@@ -1,0 +1,8 @@
+"""Server-tier module touching only report-side machinery."""
+
+from repro.protocol.facade import Protocol
+from repro.service import wire
+
+
+def build(spec):
+    return Protocol.from_spec(spec), wire

@@ -1,0 +1,12 @@
+"""An await suspends the handler between charge and absorb."""
+
+
+class Handler:
+    async def handle_submit(self, ledger, accumulator, batch):
+        ledger.charge_batch(batch.users, batch.epsilon)
+        await self.audit_log(batch)
+        accumulator.absorb(batch.reports)
+        return True
+
+    async def audit_log(self, batch):
+        return batch

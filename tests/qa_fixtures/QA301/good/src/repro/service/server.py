@@ -1,0 +1,16 @@
+"""Awaits stay outside the charge/absorb critical section."""
+
+
+class Handler:
+    async def handle_submit(self, ledger, accumulator, batch):
+        await self.authenticate(batch)
+        ledger.charge_batch(batch.users, batch.epsilon)
+        accumulator.absorb(batch.reports)
+        await self.checkpoint()
+        return True
+
+    async def authenticate(self, batch):
+        return batch
+
+    async def checkpoint(self):
+        return None

@@ -1,0 +1,24 @@
+"""Snapshot gaps: a missing method and a statistic state_dict drops."""
+
+
+class ServerAccumulator:
+    """Stand-in for the real abstract base."""
+
+
+class LeakyAccumulator(ServerAccumulator):
+    def __init__(self):
+        self._total = 0.0
+        self._hidden = 0
+
+    def absorb(self, reports):
+        self._total += sum(reports)
+        self._hidden += len(reports)
+        return self
+
+    def merge(self, other):
+        self._total += other._total
+        self._hidden += other._hidden
+        return self
+
+    def state_dict(self):
+        return {"total": self._total}

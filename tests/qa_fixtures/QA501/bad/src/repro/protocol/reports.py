@@ -1,0 +1,12 @@
+"""Two report containers; OrphanReports never reaches the codec."""
+
+
+class SampledNumericReports:
+    def __init__(self, cols=(), values=()):
+        self.cols = cols
+        self.values = values
+
+
+class OrphanReports:
+    def __init__(self, blob=b""):
+        self.blob = blob

@@ -1,0 +1,7 @@
+"""One report container, fully registered in the wire codec."""
+
+
+class SampledNumericReports:
+    def __init__(self, cols=(), values=()):
+        self.cols = cols
+        self.values = values

@@ -1,0 +1,15 @@
+"""Codec with an entry for every container in protocol/reports.py."""
+
+from repro.protocol.reports import SampledNumericReports
+
+
+def encode_reports(reports):
+    if isinstance(reports, SampledNumericReports):
+        return {"type": "sampled-numeric", "cols": list(reports.cols)}
+    raise TypeError(f"cannot encode report container {type(reports)}")
+
+
+def decode_reports(payload):
+    if payload["type"] == "sampled-numeric":
+        return SampledNumericReports(cols=payload["cols"])
+    raise TypeError(f"cannot decode report payload {payload['type']}")

@@ -1,0 +1,15 @@
+"""Silent failure: a bare except and a swallowed blanket except."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        pass
+
+
+def swallow_blanket(fn):
+    try:
+        return fn()
+    except Exception:
+        ...

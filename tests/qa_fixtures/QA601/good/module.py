@@ -1,0 +1,16 @@
+"""Acceptable exception handling: narrow best-effort, handled blanket."""
+
+
+def close_quietly(sock):
+    try:
+        sock.close()
+    except (ConnectionError, BrokenPipeError):
+        pass
+
+
+def guarded(fn, log):
+    try:
+        return fn()
+    except Exception as exc:
+        log.error("call failed: %r", exc)
+        raise RuntimeError("wrapped") from exc

@@ -8,6 +8,7 @@ into multiple campaigns, the cross-campaign budget cap, lifecycle
 restoring every campaign plus the ledger bitwise.
 """
 
+import random
 import threading
 
 import numpy as np
@@ -661,3 +662,57 @@ class TestClientRetry:
             client._request("GET", "/nope")
         assert excinfo.value.status == 404
         assert excinfo.value.attempts == 1
+
+
+class TestBackoffJitter:
+    """The jitter rng is injected (QA101): seedable, never global."""
+
+    def test_seeded_backoff_is_deterministic(self):
+        def run():
+            client = ServiceClient(
+                "127.0.0.1", 1, retry_delay=0.1, retry_max_delay=2.0,
+                backoff_rng=random.Random(7),
+            )
+            return [client._backoff(k) for k in (1, 2, 3)]
+
+        delays = [run(), run()]
+        assert delays[0] == delays[1]
+        # Matches the documented formula against an identically
+        # seeded reference stream.
+        reference = random.Random(7)
+        for k, delay in zip((1, 2, 3), delays[0]):
+            base = min(0.1 * 2.0 ** (k - 1), 2.0)
+            assert delay == base * (0.5 + 0.5 * reference.random())
+
+    def test_backoff_never_touches_module_global_rng(self):
+        random.seed(1234)
+        state = random.getstate()
+        client = ServiceClient("127.0.0.1", 1)
+        for attempt in (1, 2, 3):
+            client._backoff(attempt)
+        assert random.getstate() == state
+
+    def test_for_campaign_sibling_shares_backoff_rng(self):
+        rng = random.Random(3)
+        client = ServiceClient("127.0.0.1", 1, backoff_rng=rng)
+        assert client.for_campaign("f" * 64).backoff_rng is rng
+
+    def test_connection_retry_sleeps_reproducible(self, monkeypatch):
+        def run(seed):
+            sleeps = []
+            monkeypatch.setattr(
+                "repro.service.client.time.sleep", sleeps.append
+            )
+            client = ServiceClient(
+                "127.0.0.1", 1, retries=3, retry_delay=0.1,
+                retry_max_delay=0.25, timeout=0.2,
+                backoff_rng=random.Random(seed),
+            )
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            return sleeps
+
+        first, second = run(11), run(11)
+        assert first == second
+        for delay, base in zip(first, [0.1, 0.2, 0.25]):
+            assert 0.5 * base <= delay <= base
