@@ -38,6 +38,7 @@ from repro.service import (  # noqa: E402
     IngestionServer,
     ServiceClient,
     SnapshotStore,
+    wire,
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -45,6 +46,7 @@ BASELINE_PATH = RESULTS_DIR / "service_ingest_baseline.json"
 
 BATCH_SIZE = 2_000
 CHECKPOINT_EVERY = 10
+SHARDS = 4
 SEED = 2019
 
 
@@ -80,13 +82,27 @@ def _encode_batches(protocol, values, n):
     return batches
 
 
-def _run_ingest(protocol, batches, store=None, checkpoint_every=None):
+def _run_ingest(
+    protocol,
+    batches,
+    store=None,
+    checkpoint_every=None,
+    wire_version=None,
+    shards=1,
+):
     server = IngestionServer(
-        protocol, store=store, checkpoint_every=checkpoint_every
+        protocol,
+        store=store,
+        checkpoint_every=checkpoint_every,
+        shards=shards,
     ).run_in_thread()
     try:
-        client = ServiceClient("127.0.0.1", server.port)
+        client = ServiceClient(
+            "127.0.0.1", server.port, wire_version=wire_version
+        )
         client.fetch_spec()  # outside the timed window
+        if wire_version is not None:
+            assert client.negotiated_wire_version == wire_version
         start = time.perf_counter()
         for reports, users in batches:
             client.submit_reports(reports, users)
@@ -95,6 +111,20 @@ def _run_ingest(protocol, batches, store=None, checkpoint_every=None):
     finally:
         server.stop()
     return elapsed, estimate
+
+
+def _check_estimate(name, run, estimate, reference, sharded=False):
+    """Bitwise against the local reference absorb; a sharded run of a
+    float-summing protocol legitimately folds in a different order, so
+    it may only match to float tolerance."""
+    if np.array_equal(estimate, reference):
+        return "bitwise"
+    if sharded and np.allclose(estimate, reference, rtol=1e-9, atol=1e-12):
+        return "allclose"
+    raise AssertionError(
+        f"{name}/{run}: served estimate diverged from the local "
+        f"reference absorb"
+    )
 
 
 def _run_multi_campaign(workloads, store=None, checkpoint_every=None):
@@ -183,6 +213,8 @@ def bench_multi_campaign(workloads, n: int) -> dict:
     )
     return {
         "campaigns": sorted(workloads),
+        # Clients negotiate: the whole multi-campaign fleet now rides v2.
+        "wire_version": wire.WIRE_VERSION_COLUMNAR,
         "n_per_campaign": n,
         "total_reports": total,
         "batch_size": BATCH_SIZE,
@@ -210,29 +242,46 @@ def bench_workloads(workloads, n: int) -> dict:
             reference.absorb(reports)
         reference_estimate = _estimate_array(reference.estimate())
 
-        plain_s, plain_estimate = _run_ingest(protocol, batches)
+        plain_s, plain_estimate = _run_ingest(
+            protocol, batches, wire_version=wire.WIRE_VERSION
+        )
         with tempfile.TemporaryDirectory() as tmp:
             durable_s, durable_estimate = _run_ingest(
                 protocol,
                 batches,
                 store=SnapshotStore(tmp),
                 checkpoint_every=CHECKPOINT_EVERY,
+                wire_version=wire.WIRE_VERSION,
             )
-
-        bitwise = bool(
-            np.array_equal(plain_estimate, reference_estimate)
-            and np.array_equal(durable_estimate, reference_estimate)
+        v2_s, v2_estimate = _run_ingest(
+            protocol, batches, wire_version=wire.WIRE_VERSION_COLUMNAR
         )
-        if not bitwise:
-            raise AssertionError(
-                f"{name}: served estimate diverged from the local "
-                f"reference absorb"
-            )
+        sharded_s, sharded_estimate = _run_ingest(
+            protocol,
+            batches,
+            wire_version=wire.WIRE_VERSION_COLUMNAR,
+            shards=SHARDS,
+        )
+
+        _check_estimate(name, "ingest", plain_estimate, reference_estimate)
+        _check_estimate(
+            name, "checkpoints", durable_estimate, reference_estimate
+        )
+        _check_estimate(
+            name, "wire_v2", v2_estimate, reference_estimate
+        )
+        sharded_check = _check_estimate(
+            name,
+            "wire_v2_sharded",
+            sharded_estimate,
+            reference_estimate,
+            sharded=True,
+        )
         out[name] = {
             "n": n,
             "batch_size": BATCH_SIZE,
             "batches": len(batches),
-            "bitwise_equal_to_local": bitwise,
+            "bitwise_equal_to_local": True,
             "ingest": {
                 "seconds": plain_s,
                 "reports_per_second": n / plain_s,
@@ -243,11 +292,25 @@ def bench_workloads(workloads, n: int) -> dict:
                 "checkpoint_every_batches": CHECKPOINT_EVERY,
                 "overhead_vs_plain": durable_s / plain_s,
             },
+            "ingest_wire_v2": {
+                "seconds": v2_s,
+                "reports_per_second": n / v2_s,
+                "speedup_vs_v1": plain_s / v2_s,
+            },
+            "ingest_wire_v2_sharded": {
+                "seconds": sharded_s,
+                "reports_per_second": n / sharded_s,
+                "shards": SHARDS,
+                "speedup_vs_v1": plain_s / sharded_s,
+                "estimate_check": sharded_check,
+            },
         }
         print(
-            f"{name:>16}: {n / plain_s:>10.0f} reports/s plain, "
-            f"{n / durable_s:>10.0f} reports/s with checkpoints "
-            f"every {CHECKPOINT_EVERY} batches [bitwise ok]"
+            f"{name:>16}: {n / plain_s:>10.0f} reports/s v1, "
+            f"{n / durable_s:>10.0f} reports/s v1+checkpoints, "
+            f"{n / v2_s:>10.0f} reports/s v2, "
+            f"{n / sharded_s:>10.0f} reports/s v2+{SHARDS} shards "
+            f"[{plain_s / v2_s:.2f}x v2 speedup]"
         )
     return out
 

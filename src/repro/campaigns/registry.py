@@ -26,7 +26,9 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.campaigns.lifecycle import CampaignState, check_transition
+from repro.protocol.accumulators import ServerAccumulator
 from repro.protocol.facade import Protocol
+from repro.protocol.reports import ColumnBlock
 from repro.protocol.spec import ProtocolSpec
 
 
@@ -47,15 +49,23 @@ class Campaign:
         A :class:`Protocol`, :class:`ProtocolSpec`, or spec dict.
     default:
         Whether v1 (campaign-unaware) envelopes route here.
+    shards:
+        Number of per-shard accumulators.  ``1`` (the default) is the
+        classic single-accumulator campaign; the sharded server passes
+        its worker count and each worker owns one index of
+        :attr:`accumulators`.
     """
 
     def __init__(
         self,
         protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
         default: bool = False,
+        shards: int = 1,
     ):
         from repro.service.wire import spec_fingerprint
 
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         if isinstance(protocol_or_spec, Protocol):
             self.protocol = protocol_or_spec
         else:
@@ -64,7 +74,10 @@ class Campaign:
         self.fingerprint = spec_fingerprint(self.spec)
         self.default = bool(default)
         self.state = CampaignState.OPEN
-        self.accumulator = self.protocol.server()
+        self.shards = int(shards)
+        self.accumulators: List[ServerAccumulator] = [
+            self.protocol.server() for _ in range(self.shards)
+        ]
         self.seen_keys: set = set()
         self.batches_accepted = 0
         self.duplicates = 0
@@ -77,9 +90,60 @@ class Campaign:
 
     # ------------------------------------------------------------------
     @property
+    def accumulator(self) -> ServerAccumulator:
+        """The single-shard accumulator (shard 0).
+
+        The pre-sharding surface: every ``shards=1`` campaign (the
+        default) behaves exactly as before.  Sharded campaigns expose
+        :attr:`accumulators` per shard and :meth:`merged_accumulator`
+        for the fan-in view.
+        """
+        return self.accumulators[0]
+
+    @property
     def reports(self) -> int:
-        """Reports absorbed so far."""
-        return int(self.accumulator.count)
+        """Reports absorbed so far, across all shards."""
+        return int(sum(acc.count for acc in self.accumulators))
+
+    def validate_batch(self, batch: Any) -> None:
+        """Raise ``ValueError`` iff absorbing ``batch`` would.
+
+        Runs on the request path *before* budget is charged and the
+        batch is enqueued to a shard worker; never mutates state
+        (validation dispatches through shard 0, but every shard
+        accumulator is an identically configured twin).
+        """
+        if isinstance(batch, ColumnBlock):
+            self.accumulators[0].validate_columns(batch)
+        else:
+            self.accumulators[0].validate_reports(batch)
+
+    def absorb_shard(self, index: int, batch: Any) -> int:
+        """Fold one validated batch into shard ``index``; returns the
+        number of reports absorbed (the shard workers' counter)."""
+        acc = self.accumulators[index]
+        before = acc.count
+        if isinstance(batch, ColumnBlock):
+            acc.absorb_columns(batch)
+        else:
+            acc.absorb(batch)
+        return int(acc.count - before)
+
+    def merged_accumulator(self) -> ServerAccumulator:
+        """The campaign-wide accumulator view for estimates.
+
+        ``shards=1`` returns the live accumulator itself.  Sharded
+        campaigns fold every shard's state into a fresh accumulator in
+        fixed shard order — deterministic, so re-merging after a
+        checkpoint resume is bitwise-identical — leaving the per-shard
+        state untouched.
+        """
+        if self.shards == 1:
+            return self.accumulators[0]
+        merged = self.protocol.server()
+        for acc in self.accumulators:
+            merged.merge(acc)
+        return merged
 
     @property
     def accepts_reports(self) -> bool:
@@ -110,6 +174,7 @@ class Campaign:
             "state": self.state.value,
             "final": self.state is not CampaignState.OPEN,
             "default": self.default,
+            "shards": self.shards,
             "reports": self.reports,
             "batches_accepted": self.batches_accepted,
             "duplicates": self.duplicates,
@@ -129,14 +194,29 @@ class Campaign:
         }
 
     def snapshot_payload(self) -> Dict[str, Any]:
-        """Wire-encoded accumulator state + idempotency keys."""
+        """Wire-encoded accumulator state + idempotency keys.
+
+        Single-shard campaigns keep the pre-sharding payload format
+        (one ``accumulator`` entry), so their snapshots stay loadable
+        by older code; sharded campaigns write one encoded state per
+        shard under ``shard_accumulators``.
+        """
         from repro.service.wire import encode_accumulator_state
 
-        return {
+        payload: Dict[str, Any] = {
             "fingerprint": self.fingerprint,
-            "accumulator": encode_accumulator_state(self.accumulator),
             "idempotency_keys": sorted(self.seen_keys),
         }
+        if self.shards == 1:
+            payload["accumulator"] = encode_accumulator_state(
+                self.accumulators[0]
+            )
+        else:
+            payload["shards"] = self.shards
+            payload["shard_accumulators"] = [
+                encode_accumulator_state(acc) for acc in self.accumulators
+            ]
+        return payload
 
     def restore(
         self, manifest: Dict[str, Any], payload: Dict[str, Any]
@@ -153,7 +233,23 @@ class Campaign:
                 f"{str(payload.get('fingerprint'))[:12]!r}..., not "
                 f"{self.fingerprint[:12]!r}..."
             )
-        decode_accumulator_state(self.accumulator, payload["accumulator"])
+        if "shard_accumulators" in payload:
+            states = payload["shard_accumulators"]
+            if len(states) != self.shards:
+                raise ValueError(
+                    f"snapshot holds {len(states)} shard accumulators, "
+                    f"campaign is configured with {self.shards} shards — "
+                    f"restart with --shards {len(states)} to resume it"
+                )
+            for acc, state in zip(self.accumulators, states):
+                decode_accumulator_state(acc, state)
+        else:
+            # Pre-sharding payload: the whole campaign state loads into
+            # shard 0 (correct under merge — the other shards are
+            # empty), whatever the configured shard count.
+            decode_accumulator_state(
+                self.accumulators[0], payload["accumulator"]
+            )
         self.seen_keys = set(payload.get("idempotency_keys", []))
         self.state = CampaignState.coerce(manifest["state"])
         self.default = bool(manifest.get("default", self.default))
@@ -172,9 +268,17 @@ class Campaign:
 
 
 class CampaignRegistry:
-    """All campaigns one server instance is running, by fingerprint."""
+    """All campaigns one server instance is running, by fingerprint.
 
-    def __init__(self):
+    ``shards`` is a server-level property: every campaign registered
+    here gets that many per-shard accumulators, matching the server's
+    worker count.
+    """
+
+    def __init__(self, shards: int = 1):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
         self._campaigns: Dict[str, Campaign] = {}
         self._default: Optional[str] = None
 
@@ -190,7 +294,9 @@ class CampaignRegistry:
         existing spec returns the live campaign untouched (its
         accumulated reports, state and keys are kept).
         """
-        campaign = Campaign(protocol_or_spec, default=default)
+        campaign = Campaign(
+            protocol_or_spec, default=default, shards=self.shards
+        )
         existing = self._campaigns.get(campaign.fingerprint)
         if existing is not None:
             if default and self._default is None:

@@ -55,6 +55,21 @@ class OLHReports:
     def __len__(self) -> int:
         return int(self.seeds.shape[0])
 
+    # ------------------------------------------------------------------
+    # Columnar form (v2 wire format; see repro.protocol.reports)
+    # ------------------------------------------------------------------
+    def to_columns(self) -> dict:
+        """Canonical columnar form: the two per-user vectors by name."""
+        return {"seeds": self.seeds, "buckets": self.buckets}
+
+    @classmethod
+    def from_columns(cls, columns: dict) -> "OLHReports":
+        """Rebuild from :meth:`to_columns` output (bitwise)."""
+        return cls(
+            seeds=np.asarray(columns["seeds"]),
+            buckets=np.asarray(columns["buckets"]),
+        )
+
 
 @register_oracle
 class OptimizedLocalHashing(FrequencyOracle):

@@ -26,8 +26,9 @@ from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
 
+from repro.frequency.olh import OLHReports
 from repro.frequency.oracle import FrequencyOracle
-from repro.protocol.reports import SampledNumericReports
+from repro.protocol.reports import ColumnBlock, SampledNumericReports
 
 # NOTE: repro.multidim is imported lazily (inside MixedAccumulator
 # methods) because repro.multidim.streaming subclasses the accumulators
@@ -61,6 +62,39 @@ class ServerAccumulator(abc.ABC):
         :meth:`estimate` still raises ``ValueError`` while the total
         count is zero.
         """
+
+    def absorb_columns(self, block: ColumnBlock) -> "ServerAccumulator":
+        """Fold in one batch in canonical columnar form.
+
+        The columnar twin of :meth:`absorb`: consumes the named numpy
+        columns of a :class:`~repro.protocol.reports.ColumnBlock`
+        directly — no report container is materialized on the hot path
+        (OLH columns are wrapped in a zero-copy view for the oracle's
+        support counting).  Bitwise-equal to absorbing the equivalent
+        report object: the same reductions run over the same arrays in
+        the same order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support columnar absorption"
+        )
+
+    # ------------------------------------------------------------------
+    # Pre-absorption validation (used by the sharded ingestion tier).
+    # ``validate_reports`` / ``validate_columns`` raise ``ValueError``
+    # for any batch whose matching absorb would raise, and never
+    # mutate state.  The sharded server validates on the request path
+    # *before* charging budget and enqueueing, so an absorb running
+    # later on a shard worker cannot fail on client data — preserving
+    # the absorb-before-charge invariant across the queue boundary.
+    # ------------------------------------------------------------------
+    def validate_reports(self, reports: Any) -> None:
+        """Raise ``ValueError`` iff :meth:`absorb` would; no mutation."""
+
+    def validate_columns(self, block: ColumnBlock) -> None:
+        """Raise ``ValueError`` iff :meth:`absorb_columns` would."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support columnar absorption"
+        )
 
     @abc.abstractmethod
     def merge(self, other: "ServerAccumulator") -> "ServerAccumulator":
@@ -125,6 +159,29 @@ class MeanAccumulator(ServerAccumulator):
         self._sum += float(arr.sum())
         self._count += arr.shape[0]
         return self
+
+    def validate_reports(self, reports: Any) -> None:
+        arr = np.atleast_1d(np.asarray(reports, dtype=float))
+        if arr.ndim != 1:
+            raise ValueError(
+                f"mean reports must be a flat array, got shape {arr.shape}"
+            )
+
+    def validate_columns(self, block: ColumnBlock) -> None:
+        if block.kind != "array":
+            raise ValueError(
+                f"MeanAccumulator absorbs 'array' columns, got "
+                f"{block.kind!r}"
+            )
+        self.validate_reports(block.column("array"))
+
+    def absorb_columns(self, block: ColumnBlock) -> "MeanAccumulator":
+        if block.kind != "array":
+            raise ValueError(
+                f"MeanAccumulator absorbs 'array' columns, got "
+                f"{block.kind!r}"
+            )
+        return self.absorb(block.column("array"))
 
     def merge(self, other: "ServerAccumulator") -> "MeanAccumulator":
         if not isinstance(other, MeanAccumulator):
@@ -196,6 +253,80 @@ class MultidimMeanAccumulator(ServerAccumulator):
         self._count += arr.shape[0]
         return self
 
+    def validate_reports(self, reports: Any) -> None:
+        if isinstance(reports, SampledNumericReports):
+            if reports.d != self.d:
+                raise ValueError(
+                    f"reports cover d={reports.d} attributes, "
+                    f"accumulator expects d={self.d}"
+                )
+            return
+        arr = np.asarray(reports, dtype=float)
+        if arr.size == 0:
+            return
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(
+                f"batch must be (m, {self.d}), got shape {arr.shape}"
+            )
+
+    def _checked_sampled_columns(self, block: ColumnBlock):
+        """Validated (cols, values) from a sampled-numeric block.
+
+        Applies the same coercions and checks as
+        ``SampledNumericReports.__post_init__`` plus the d-match
+        ``absorb`` performs, without building the container.
+        """
+        d = int(block.meta.get("d", -1))
+        if d != self.d:
+            raise ValueError(
+                f"columnar reports cover d={d} attributes, accumulator "
+                f"expects d={self.d}"
+            )
+        cols = np.asarray(block.column("cols"), dtype=np.int64)
+        values = np.asarray(block.column("values"), dtype=float)
+        if cols.ndim != 2 or cols.shape != values.shape:
+            raise ValueError(
+                f"cols and values must be matching (n, k) matrices, "
+                f"got {cols.shape} and {values.shape}"
+            )
+        if cols.size and (cols.min() < 0 or cols.max() >= self.d):
+            raise ValueError(
+                f"sampled indices must lie in [0, {self.d - 1}]"
+            )
+        return cols, values
+
+    def validate_columns(self, block: ColumnBlock) -> None:
+        if block.kind == "sampled-numeric":
+            self._checked_sampled_columns(block)
+            return
+        if block.kind == "array":
+            self.validate_reports(block.column("array"))
+            return
+        raise ValueError(
+            f"MultidimMeanAccumulator absorbs 'sampled-numeric' or "
+            f"'array' columns, got {block.kind!r}"
+        )
+
+    def absorb_columns(
+        self, block: ColumnBlock
+    ) -> "MultidimMeanAccumulator":
+        if block.kind == "array":
+            return self.absorb(block.column("array"))
+        if block.kind != "sampled-numeric":
+            raise ValueError(
+                f"MultidimMeanAccumulator absorbs 'sampled-numeric' or "
+                f"'array' columns, got {block.kind!r}"
+            )
+        cols, values = self._checked_sampled_columns(block)
+        # Same reduction as the object path's absorb — bitwise equal.
+        self._sums += np.bincount(
+            cols.ravel(), weights=values.ravel(), minlength=self.d
+        )
+        self._count += cols.shape[0]
+        return self
+
     def merge(self, other: "ServerAccumulator") -> "MultidimMeanAccumulator":
         if not isinstance(other, MultidimMeanAccumulator) or other.d != self.d:
             raise ValueError("cannot merge aggregators of different d")
@@ -241,9 +372,67 @@ class FrequencyAccumulator(ServerAccumulator):
         self._count = 0
 
     def absorb(self, reports: Any) -> "FrequencyAccumulator":
-        self._support += self.oracle.support_counts(reports)
-        self._count += self.oracle._n_reports(reports)
+        # Compute both deltas before mutating: a report batch the
+        # oracle rejects must leave the state untouched.
+        support = self.oracle.support_counts(reports)
+        n = self.oracle._n_reports(reports)
+        self._support += support
+        self._count += n
         return self
+
+    def validate_reports(self, reports: Any) -> None:
+        if isinstance(reports, OLHReports):
+            return  # structurally validated by its __post_init__
+        arr = np.asarray(reports)
+        if arr.ndim == 2:
+            if arr.shape[1] != self.oracle.k:
+                raise ValueError(
+                    f"report matrix is (n, {arr.shape[1]}), oracle "
+                    f"domain is k={self.oracle.k}"
+                )
+            return
+        if arr.ndim == 1:
+            if arr.size == 0:
+                return
+            if not np.issubdtype(arr.dtype, np.integer) and not np.all(
+                arr == np.floor(arr)
+            ):
+                raise ValueError(
+                    "integer-valued reports required for this oracle"
+                )
+            if arr.min() < 0 or arr.max() >= self.oracle.k:
+                raise ValueError(
+                    f"report values must lie in [0, {self.oracle.k - 1}]"
+                )
+            return
+        raise ValueError(
+            f"frequency reports must be a vector or matrix, got shape "
+            f"{arr.shape}"
+        )
+
+    def validate_columns(self, block: ColumnBlock) -> None:
+        if block.kind == "olh":
+            OLHReports.from_columns(block.columns)  # shape check only
+            return
+        if block.kind == "array":
+            self.validate_reports(block.column("array"))
+            return
+        raise ValueError(
+            f"FrequencyAccumulator absorbs 'array' or 'olh' columns, "
+            f"got {block.kind!r}"
+        )
+
+    def absorb_columns(self, block: ColumnBlock) -> "FrequencyAccumulator":
+        if block.kind == "olh":
+            # Zero-copy view over the seed/bucket columns — the oracle
+            # counts support directly on the transported arrays.
+            return self.absorb(OLHReports.from_columns(block.columns))
+        if block.kind != "array":
+            raise ValueError(
+                f"FrequencyAccumulator absorbs 'array' or 'olh' "
+                f"columns, got {block.kind!r}"
+            )
+        return self.absorb(block.column("array"))
 
     def merge(self, other: "ServerAccumulator") -> "FrequencyAccumulator":
         if not isinstance(other, FrequencyAccumulator):
@@ -385,13 +574,24 @@ class MixedAccumulator(ServerAccumulator):
         )
 
     def absorb(self, reports: Any) -> "MixedAccumulator":
+        # Validate the whole batch before mutating anything: a bad
+        # categorical attribute must not leave the numeric sums
+        # half-updated.
+        self.validate_reports(reports)
+        numeric = np.asarray(reports.numeric, dtype=float)
+        self._numeric_sums += numeric.sum(axis=0)
+        for name, oracle_reports in reports.categorical.items():
+            self._frequency[name].absorb(oracle_reports)
+        self._users += reports.n
+        return self
+
+    def validate_reports(self, reports: Any) -> None:
         numeric = np.asarray(reports.numeric, dtype=float)
         if numeric.ndim != 2 or numeric.shape[1] != self._numeric_sums.shape[0]:
             raise ValueError(
                 f"numeric block must be (m, {self._numeric_sums.shape[0]}), "
                 f"got shape {numeric.shape}"
             )
-        self._numeric_sums += numeric.sum(axis=0)
         for name, oracle_reports in reports.categorical.items():
             if name not in self._frequency:
                 raise ValueError(
@@ -399,8 +599,51 @@ class MixedAccumulator(ServerAccumulator):
                     f"this accumulator's schema "
                     f"{[a.name for a in self.schema.categorical]}"
                 )
-            self._frequency[name].absorb(oracle_reports)
-        self._users += reports.n
+            self._frequency[name].validate_reports(oracle_reports)
+
+    def _sub_blocks(self, block: ColumnBlock):
+        """(name, sub-accumulator, sub-block) triples of a mixed block,
+        in the header's categorical order (the encoding order — the
+        same order the object path's absorb would use)."""
+        categorical = block.meta.get("categorical")
+        if not isinstance(categorical, dict):
+            raise ValueError(
+                "mixed columnar block carries no 'categorical' kind map"
+            )
+        out = []
+        for name, kind in categorical.items():
+            if name not in self._frequency:
+                raise ValueError(
+                    f"columns carry categorical attribute {name!r} not "
+                    f"in this accumulator's schema "
+                    f"{[a.name for a in self.schema.categorical]}"
+                )
+            sub = block.sub_block(name, str(kind), block.n)
+            out.append((name, self._frequency[name], sub))
+        return out
+
+    def validate_columns(self, block: ColumnBlock) -> None:
+        if block.kind != "mixed":
+            raise ValueError(
+                f"MixedAccumulator absorbs 'mixed' columns, got "
+                f"{block.kind!r}"
+            )
+        numeric = np.asarray(block.column("numeric"), dtype=float)
+        if numeric.ndim != 2 or numeric.shape[1] != self._numeric_sums.shape[0]:
+            raise ValueError(
+                f"numeric block must be (m, {self._numeric_sums.shape[0]}), "
+                f"got shape {numeric.shape}"
+            )
+        for _, acc, sub in self._sub_blocks(block):
+            acc.validate_columns(sub)
+
+    def absorb_columns(self, block: ColumnBlock) -> "MixedAccumulator":
+        self.validate_columns(block)
+        numeric = np.asarray(block.column("numeric"), dtype=float)
+        self._numeric_sums += numeric.sum(axis=0)
+        for _, acc, sub in self._sub_blocks(block):
+            acc.absorb_columns(sub)
+        self._users += block.n
         return self
 
     def merge(self, other: "ServerAccumulator") -> "MixedAccumulator":

@@ -11,14 +11,94 @@ Algorithm 4:
 attribute indices and the k scaled perturbed values — O(n k) memory
 instead of the legacy dense (n, d) matrix whose entries are mostly
 zeros.  ``to_dense()`` recovers the legacy layout when needed.
+
+Columnar form
+-------------
+
+Every report container also has a *canonical columnar form*: a flat
+``dict[str, np.ndarray]`` of named columns (``to_columns()``) plus the
+JSON-scalar metadata needed to rebuild the container
+(``from_columns()``).  A :class:`ColumnBlock` bundles the two together
+with the container kind and user count — it is what the v2 wire format
+frames as one header plus packed array payloads, and what
+``ServerAccumulator.absorb_columns`` consumes directly without
+materializing report objects.  The columnar round-trip is bitwise: the
+arrays are transported untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
 
 import numpy as np
+
+
+@dataclass
+class ColumnBlock:
+    """One report batch in canonical columnar form.
+
+    Attributes
+    ----------
+    kind:
+        Container kind tag — ``"array"``, ``"olh"``,
+        ``"sampled-numeric"`` or ``"mixed"`` — the same vocabulary the
+        v1 JSON codec uses.
+    n:
+        Number of reporting users in the batch.
+    meta:
+        JSON-scalar metadata needed to rebuild the container (e.g.
+        ``d``/``k`` for sampled-numeric, the per-attribute sub-kinds
+        for mixed).  Never carries arrays.
+    columns:
+        Flat name -> numpy array mapping.  Nested containers (mixed
+        tuples) flatten with ``cat.<attribute>.<column>`` names.
+    """
+
+    kind: str
+    n: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.n = int(self.n)
+        if self.n < 0:
+            raise ValueError(f"n must be non-negative, got {self.n}")
+        for name, arr in self.columns.items():
+            self.columns[name] = np.asarray(arr)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ValueError(
+                f"columnar {self.kind!r} block is missing column "
+                f"{name!r} (has {sorted(self.columns)})"
+            ) from None
+
+    def sub_block(self, prefix: str, kind: str, n: int) -> "ColumnBlock":
+        """The nested block under ``cat.<prefix>.`` (mixed flattening)."""
+        head = f"cat.{prefix}."
+        return ColumnBlock(
+            kind=kind,
+            n=n,
+            meta={},
+            columns={
+                name[len(head):]: arr
+                for name, arr in self.columns.items()
+                if name.startswith(head)
+            },
+        )
+
+    def nbytes(self) -> int:
+        """Total packed payload size across all columns."""
+        return int(sum(arr.nbytes for arr in self.columns.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnBlock(kind={self.kind!r}, n={self.n}, "
+            f"columns={sorted(self.columns)})"
+        )
 
 
 @dataclass
@@ -72,6 +152,27 @@ class SampledNumericReports:
 
     def __len__(self) -> int:
         return self.n
+
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """Canonical columnar form: the two (n, k) matrices by name.
+
+        The container metadata (``d``, ``k``) travels separately (see
+        :class:`ColumnBlock`); :meth:`from_columns` takes both halves.
+        """
+        return {"cols": self.cols, "values": self.values}
+
+    @classmethod
+    def from_columns(
+        cls, columns: Dict[str, np.ndarray], *, d: int, k: int
+    ) -> "SampledNumericReports":
+        """Rebuild from :meth:`to_columns` output (bitwise)."""
+        return cls(
+            d=int(d), k=int(k), cols=columns["cols"],
+            values=columns["values"],
+        )
 
     # ------------------------------------------------------------------
     def to_dense(self) -> np.ndarray:

@@ -2,17 +2,23 @@
 
 The service's never-silent-mis-aggregation guarantee (PR 3) assumes
 every report container a protocol can emit has a bitwise codec entry
-in ``repro.service.wire`` — ``encode_reports`` type-tags it,
-``decode_reports`` rebuilds it.  A new container class added to
+in ``repro.service.wire`` — on the v1 JSON path (``encode_reports``
+type-tags it, ``decode_reports`` rebuilds it) *and* on the v2 columnar
+path (``reports_to_columns`` flattens it, ``columns_to_reports``
+rebuilds it).  A new container class added to
 ``repro.protocol.reports`` without a codec entry only fails at
 runtime, on the first live submission of that protocol kind, with a
-generic ``cannot encode report container`` — long after review.
+generic ``cannot encode report container`` — long after review; worse,
+a container wired into only one of the two formats splits the fleet:
+v1 clients can submit it, v2 clients cannot.
 
 This rule checks statically that every class defined at the top level
-of ``repro.protocol.reports`` is referenced by name in *both*
-``encode_reports`` and ``decode_reports`` of ``repro.service.wire``.
-The check runs only when both modules are in the linted set (the full
-``src`` run CI gates on).
+of ``repro.protocol.reports`` is referenced by name in *all four*
+codec functions of ``repro.service.wire``.  ``ColumnBlock`` is
+exempt — it is the columnar wire form itself (the carrier the v2
+functions produce and consume), not a report container.  The check
+runs only when both modules are in the linted set (the full ``src``
+run CI gates on).
 """
 
 from __future__ import annotations
@@ -28,8 +34,18 @@ REPORTS_MODULE = "repro.protocol.reports"
 #: Module that must provide a codec entry per container.
 CODEC_MODULE = "repro.service.wire"
 
-#: The two codec functions every container must appear in.
-CODEC_FUNCTIONS = ("encode_reports", "decode_reports")
+#: The codec functions every container must appear in: the v1 JSON
+#: pair and the v2 columnar pair.
+CODEC_FUNCTIONS = (
+    "encode_reports",
+    "decode_reports",
+    "reports_to_columns",
+    "columns_to_reports",
+)
+
+#: Wire-form carriers defined alongside the containers: they *are* the
+#: encoding, so demanding a codec entry for them is circular.
+CARRIER_CLASSES = frozenset({"ColumnBlock"})
 
 
 def _top_level_classes(module: Module) -> Iterator[ast.ClassDef]:
@@ -63,9 +79,11 @@ class WireCodecExhaustivenessRule(Rule):
     name = "wire-codec-exhaustiveness"
     description = (
         "every report container class in protocol/reports.py needs a "
-        "codec entry in service/wire.py (encode_reports AND "
-        "decode_reports) — an unregistered container only fails on "
-        "the first live submission"
+        "codec entry in service/wire.py on BOTH wire formats "
+        "(encode_reports/decode_reports and reports_to_columns/"
+        "columns_to_reports) — an unregistered container only fails "
+        "on the first live submission, and a half-registered one "
+        "splits the v1/v2 fleet"
     )
 
     def check(self, project: Project) -> Iterator[Violation]:
@@ -90,6 +108,8 @@ class WireCodecExhaustivenessRule(Rule):
                 return
             functions[name] = _referenced_names(func)
         for cls in _top_level_classes(reports):
+            if cls.name in CARRIER_CLASSES:
+                continue
             for name, referenced in functions.items():
                 if cls.name not in referenced:
                     yield self.violation(

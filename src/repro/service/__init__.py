@@ -41,21 +41,29 @@ from repro.service.client import (
 from repro.service.server import IngestionServer
 from repro.service.store import SnapshotStore
 from repro.service.wire import (
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_COLUMNAR,
     SpecMismatchError,
     WireFormatError,
+    columns_to_reports,
     decode_estimate,
     decode_reports,
     encode_estimate,
     encode_reports,
     envelope_campaign,
     pack,
+    pack_columns,
+    reports_to_columns,
     spec_fingerprint,
     unpack,
+    unpack_columns,
 )
 
 __all__ = [
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
+    "WIRE_VERSION_COLUMNAR",
     "Campaign",
     "CampaignClosedError",
     "CampaignRegistry",
@@ -69,12 +77,16 @@ __all__ = [
     "SpecMismatchError",
     "UnknownCampaignError",
     "WireFormatError",
+    "columns_to_reports",
     "decode_estimate",
     "decode_reports",
     "encode_estimate",
     "encode_reports",
     "envelope_campaign",
     "pack",
+    "pack_columns",
+    "reports_to_columns",
     "spec_fingerprint",
     "unpack",
+    "unpack_columns",
 ]

@@ -76,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot after every N accepted batches "
         "(needs --snapshot-dir)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard worker threads for ingestion (1 = inline absorb "
+        "on the event loop; N > 1 routes batches by idempotency key "
+        "over N bounded worker queues)",
+    )
+    parser.add_argument(
+        "--shard-queue-depth",
+        type=int,
+        default=64,
+        help="per-shard queue bound in batches; a full queue answers "
+        "429 with Retry-After (backpressure)",
+    )
     return parser
 
 
@@ -107,6 +122,8 @@ def main(argv=None) -> int:
         host=args.host,
         port=args.port,
         campaigns=campaign_specs,
+        shards=args.shards,
+        shard_queue_depth=args.shard_queue_depth,
     )
 
     async def _serve() -> None:
@@ -121,6 +138,7 @@ def main(argv=None) -> int:
             f"repro.service: {headline} on "
             f"http://{server.host}:{server.port} "
             f"(lifetime eps {server.ledger.lifetime_epsilon:g}, "
+            f"shards: {server.shards}, "
             f"checkpoints: "
             f"{store.directory if store else 'disabled'})",
             flush=True,

@@ -35,6 +35,8 @@ import random
 import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.protocol.facade import Protocol
 from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
@@ -99,6 +101,12 @@ class ServiceClient:
     campaign:
         Campaign fingerprint this client addresses; ``None`` targets
         the server's default campaign.
+    wire_version:
+        Force a specific report wire format (1 = JSON envelopes, 2 =
+        columnar frames).  ``None`` (the default) negotiates: the SDK
+        picks the highest version both it and the server's
+        ``/spec``-advertised ``wire_versions`` support, falling back to
+        v1 against servers that predate the columnar format.
     """
 
     def __init__(
@@ -111,7 +119,16 @@ class ServiceClient:
         retry_max_delay: float = 2.0,
         backoff_rng: Optional[random.Random] = None,
         campaign: Optional[str] = None,
+        wire_version: Optional[int] = None,
     ):
+        if (
+            wire_version is not None
+            and wire_version not in wire.SUPPORTED_WIRE_VERSIONS
+        ):
+            raise ValueError(
+                f"this SDK speaks wire versions "
+                f"{list(wire.SUPPORTED_WIRE_VERSIONS)}, got {wire_version}"
+            )
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
@@ -122,6 +139,8 @@ class ServiceClient:
             backoff_rng if backoff_rng is not None else random.Random()
         )
         self.campaign = campaign
+        self.wire_version = wire_version
+        self._negotiated: Optional[int] = None
         self._protocol: Optional[Protocol] = None
         self._fingerprint: Optional[str] = None
         self._spec_response: Optional[Dict[str, Any]] = None
@@ -150,6 +169,7 @@ class ServiceClient:
             retry_max_delay=self.retry_max_delay,
             backoff_rng=self.backoff_rng,
             campaign=str(campaign),
+            wire_version=self.wire_version,
         )
 
     def _campaign_query(self) -> str:
@@ -170,11 +190,21 @@ class ServiceClient:
         return base * (0.5 + 0.5 * self.backoff_rng.random())
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        raw_body: Optional[bytes] = None,
+        content_type: str = "application/json",
     ) -> Dict[str, Any]:
-        data = (
-            json.dumps(body).encode("utf-8") if body is not None else None
-        )
+        if raw_body is not None:
+            data: Optional[bytes] = raw_body
+        else:
+            data = (
+                json.dumps(body).encode("utf-8")
+                if body is not None
+                else None
+            )
         last_error: Optional[Exception] = None
         last_response: Optional[tuple] = None
         attempts = 0
@@ -190,7 +220,7 @@ class ServiceClient:
                     method,
                     path,
                     body=data,
-                    headers={"Content-Type": "application/json"}
+                    headers={"Content-Type": content_type}
                     if data is not None
                     else {},
                 )
@@ -216,6 +246,20 @@ class ServiceClient:
                 last_response = (response.status, payload)
                 continue
             if response.status == 429:
+                if payload.get("error") == "backpressure":
+                    # A full shard queue is transient — honor the
+                    # server's Retry-After hint and resubmit (the
+                    # idempotency key makes this safe).
+                    last_error = None
+                    last_response = (response.status, payload)
+                    retry_after = payload.get(
+                        "retry_after", response.getheader("Retry-After")
+                    )
+                    try:
+                        time.sleep(min(float(retry_after), 5.0))
+                    except (TypeError, ValueError):
+                        pass
+                    continue
                 raise OverBudgetError(
                     response.status, payload, attempts=attempts
                 )
@@ -247,11 +291,29 @@ class ServiceClient:
                 "GET", "/spec" + self._campaign_query()
             )
             version = response.get("wire_version")
-            if version != wire.WIRE_VERSION:
-                raise wire.WireFormatError(
-                    f"server speaks wire_version {version!r}, this SDK "
-                    f"speaks {wire.WIRE_VERSION}"
-                )
+            offered = response.get("wire_versions")
+            if not isinstance(offered, list) or not offered:
+                # Pre-negotiation server: it speaks exactly one version.
+                offered = [version]
+            if self.wire_version is not None:
+                if self.wire_version not in offered:
+                    raise wire.WireFormatError(
+                        f"forced wire_version {self.wire_version} but the "
+                        f"server only speaks {offered}"
+                    )
+                self._negotiated = self.wire_version
+            else:
+                mutual = [
+                    v
+                    for v in wire.SUPPORTED_WIRE_VERSIONS
+                    if v in offered
+                ]
+                if not mutual:
+                    raise wire.WireFormatError(
+                        f"server speaks wire versions {offered}, this SDK "
+                        f"speaks {list(wire.SUPPORTED_WIRE_VERSIONS)}"
+                    )
+                self._negotiated = max(mutual)
             self._protocol = Protocol.from_spec(response["spec"])
             # Fingerprint what we *rebuilt*, so any local/remote drift
             # (e.g. a spec field this SDK does not understand) is caught
@@ -286,6 +348,12 @@ class ServiceClient:
     def fingerprint(self) -> str:
         self.fetch_spec()
         return self._fingerprint
+
+    @property
+    def negotiated_wire_version(self) -> int:
+        """The report wire format this client will submit with."""
+        self.fetch_spec()
+        return self._negotiated
 
     # ------------------------------------------------------------------
     # Campaign management
@@ -349,7 +417,31 @@ class ServiceClient:
         users: Sequence[str],
         idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Submit already-encoded reports (``POST /report``)."""
+        """Submit already-encoded reports (``POST /report``).
+
+        Uses the negotiated wire format: v2 frames the batch as packed
+        columnar arrays (:func:`repro.service.wire.pack_columns`), v1
+        sends the classic JSON envelope.  Either way the batch carries
+        the same fingerprint, users and idempotency key and lands in
+        the same server-side accumulator, bitwise.
+        """
+        if self.negotiated_wire_version == wire.WIRE_VERSION_COLUMNAR:
+            block = wire.reports_to_columns(reports)
+            if idempotency_key is None:
+                idempotency_key = self._derive_columnar_key(block, users)
+            frame = wire.pack_columns(
+                block,
+                self.fingerprint,
+                users=[str(u) for u in users],
+                idempotency_key=idempotency_key,
+                campaign=self.campaign,
+            )
+            return self._request(
+                "POST",
+                "/report",
+                raw_body=frame,
+                content_type=wire.COLUMNAR_CONTENT_TYPE,
+            )
         encoded = wire.encode_reports(reports)
         if idempotency_key is None:
             idempotency_key = self._derive_key(encoded, users)
@@ -376,6 +468,41 @@ class ServiceClient:
         digest.update(
             json.dumps(encoded_reports, sort_keys=True).encode("utf-8")
         )
+        digest.update(json.dumps([str(u) for u in users]).encode("utf-8"))
+        return digest.hexdigest()
+
+    @staticmethod
+    def _derive_columnar_key(block, users) -> str:
+        """Deterministic idempotency key for a columnar batch.
+
+        Hashes the block's structure (kind, n, meta, per-column
+        dtype/shape) and the raw little-endian column bytes plus the
+        user list — the same inputs :func:`wire.pack_columns` frames,
+        so identical batches collide by construction.  Deliberately
+        *not* the same key as the v1 JSON derivation: a client that
+        renegotiates mid-stream resubmits under a fresh key, and the
+        server-side duplicate check stays per-representation.
+        """
+        digest = hashlib.sha256()
+        structure = {
+            "kind": block.kind,
+            "n": int(block.n),
+            "meta": block.meta,
+            "columns": [
+                {
+                    "name": name,
+                    "dtype": np.asarray(block.columns[name]).dtype.str,
+                    "shape": list(np.asarray(block.columns[name]).shape),
+                }
+                for name in sorted(block.columns)
+            ],
+        }
+        digest.update(
+            json.dumps(structure, sort_keys=True).encode("utf-8")
+        )
+        for name in sorted(block.columns):
+            arr = np.ascontiguousarray(block.columns[name])
+            digest.update(arr.tobytes())
         digest.update(json.dumps([str(u) for u in users]).encode("utf-8"))
         return digest.hexdigest()
 

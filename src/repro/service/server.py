@@ -39,9 +39,22 @@ keep working unchanged.  The envelope fingerprint is always checked
 against the **addressed** campaign's spec — a mismatch is HTTP 409,
 never a silent mis-aggregation.
 
-Ingestion is strictly ordered: request handlers run on the event loop
-and absorb synchronously, so accumulators see batches in arrival order
-and a checkpoint always captures a quiescent state.
+Report batches arrive in either wire format: v1 JSON envelopes
+(``application/json``) or v2 columnar frames
+(``application/x-repro-columnar``, see :func:`repro.service.wire.
+pack_columns`); both are checked by the same envelope machinery and
+counted per wire version in ``/healthz``.
+
+With ``shards=1`` (the default) ingestion is strictly ordered: request
+handlers run on the event loop and absorb synchronously, so
+accumulators see batches in arrival order and a checkpoint always
+captures a quiescent state.  With ``shards=N`` the handler validates,
+charges and routes each batch by idempotency key to one of N
+consistent-hash shard workers (each owning index i of every campaign's
+per-shard accumulator); a full worker queue is HTTP 429 with a
+``Retry-After`` header *before* anything is charged.  Estimates and
+checkpoints flush the workers first, then merge shards in fixed order
+— deterministic, so kill-and-resume stays bitwise.
 
 The HTTP layer is a deliberately minimal HTTP/1.1 implementation over
 ``asyncio.start_server`` (no third-party dependency, connection per
@@ -66,6 +79,7 @@ from repro.campaigns.registry import (
 from repro.protocol.facade import Protocol
 from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
+from repro.service.sharding import ShardRing, ShardWorker
 from repro.service.store import SnapshotStore
 
 _STATUS_TEXT = {
@@ -81,6 +95,9 @@ _STATUS_TEXT = {
 
 #: Upper bound on accepted request bodies (64 MiB of JSON).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: ``Retry-After`` (seconds) suggested on shard-queue backpressure.
+BACKPRESSURE_RETRY_AFTER = 1
 
 SpecLike = Union[Protocol, ProtocolSpec, Dict[str, Any]]
 
@@ -114,6 +131,13 @@ class IngestionServer:
         :meth:`start`).
     campaigns:
         Additional (non-default) campaign specs to register at boot.
+    shards:
+        Number of shard workers.  ``1`` (the default) keeps the classic
+        inline event-loop ingest; ``N > 1`` starts N absorption threads
+        behind bounded queues with consistent-hash routing.
+    shard_queue_depth:
+        Bound on each shard worker's queue (batches); a full queue is
+        HTTP 429 backpressure with ``Retry-After``.
     """
 
     def __init__(
@@ -125,6 +149,8 @@ class IngestionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         campaigns: Optional[Iterable[SpecLike]] = None,
+        shards: int = 1,
+        shard_queue_depth: int = 64,
     ):
         if checkpoint_every is not None:
             if checkpoint_every < 1:
@@ -133,7 +159,18 @@ class IngestionServer:
                 )
             if store is None:
                 raise ValueError("checkpoint_every requires a store")
-        self.registry = CampaignRegistry()
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self.registry = CampaignRegistry(shards=self.shards)
+        self._ring: Optional[ShardRing] = None
+        self._workers: Optional[list] = None
+        if self.shards > 1:
+            self._ring = ShardRing(self.shards)
+            self._workers = [
+                ShardWorker(i, queue_depth=shard_queue_depth).start()
+                for i in range(self.shards)
+            ]
         if protocol_or_spec is not None:
             self.registry.register(protocol_or_spec, default=True)
         for spec in campaigns or ():
@@ -157,6 +194,7 @@ class IngestionServer:
         self.port = port
         self._batches_accepted = 0
         self._duplicates = 0
+        self._wire_batches = {v: 0 for v in wire.SUPPORTED_WIRE_VERSIONS}
         self._resumed_from: Optional[int] = None
         self._started_at = time.monotonic()
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
@@ -260,6 +298,17 @@ class IngestionServer:
         default.dirty = True
         self._batches_accepted = default.batches_accepted
 
+    def _flush_shards(self) -> None:
+        """Barrier: wait until every enqueued batch has been absorbed.
+
+        Estimates and checkpoints run behind this, so they always see
+        (and persist) a state covering exactly the accepted batches —
+        the quiescence the inline single-shard path gets for free.
+        """
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.flush()
+
     def checkpoint_now(self) -> int:
         """Write a full snapshot — every dirty campaign's payload into
         its namespace, then the root manifest — and return its seq.
@@ -270,6 +319,7 @@ class IngestionServer:
         """
         if self.store is None:
             raise RuntimeError("server has no snapshot store")
+        self._flush_shards()
         seq = self._batches_accepted
         for campaign in self.registry:
             if not campaign.dirty:
@@ -335,6 +385,22 @@ class IngestionServer:
             "reports": self.registry.total_reports(),
             "batches_accepted": self._batches_accepted,
             "duplicates": self._duplicates,
+            "wire_versions": {
+                str(v): self._wire_batches[v]
+                for v in wire.SUPPORTED_WIRE_VERSIONS
+            },
+            "shards": {
+                "count": self.shards,
+                "queue_depths": [
+                    w.depth() for w in self._workers or ()
+                ],
+                "absorbed_batches": [
+                    w.absorbed_batches for w in self._workers or ()
+                ],
+                "absorb_errors": [
+                    w.errors for w in self._workers or ()
+                ],
+            },
             "resumed_from_snapshot": self._resumed_from,
             "users_charged": len(self.ledger.users()),
             "lifetime_epsilon": self.ledger.lifetime_epsilon,
@@ -359,7 +425,10 @@ class IngestionServer:
         if error is not None:
             return error
         return 200, {
+            # ``wire_version`` stays 1 — old clients equality-check it;
+            # version-2-capable clients negotiate on ``wire_versions``.
             "wire_version": wire.WIRE_VERSION,
+            "wire_versions": list(wire.SUPPORTED_WIRE_VERSIONS),
             "fingerprint": campaign.fingerprint,
             "campaign": campaign.fingerprint,
             "state": campaign.state.value,
@@ -374,7 +443,10 @@ class IngestionServer:
         campaign, error = self._resolve(query.get("campaign"))
         if error is not None:
             return error
-        if campaign.accumulator.count == 0:
+        # Quiesce the shard workers so the estimate covers every batch
+        # accepted so far, then merge the shards in fixed order.
+        self._flush_shards()
+        if campaign.reports == 0:
             return 409, {
                 "error": "no_reports",
                 "campaign": campaign.fingerprint,
@@ -389,7 +461,7 @@ class IngestionServer:
         return 200, wire.pack(
             {
                 "estimate": wire.encode_estimate(
-                    campaign.accumulator.estimate()
+                    campaign.merged_accumulator().estimate()
                 ),
                 "reports": campaign.reports,
                 "state": campaign.state.value,
@@ -485,17 +557,53 @@ class IngestionServer:
                 "error": "bad_request",
                 "detail": "payload must carry a non-empty 'users' list",
             }
-        try:
-            reports = wire.decode_reports(payload["reports"])
-        except (KeyError, wire.WireFormatError, ValueError) as exc:
-            return 400, {"error": "bad_reports", "detail": str(exc)}
-        n = wire.report_count(reports)
+        block = payload.get("columns")
+        if block is not None:
+            wire_version = wire.WIRE_VERSION_COLUMNAR
+            batch: Any = block
+            n = int(block.n)
+        else:
+            wire_version = wire.WIRE_VERSION
+            try:
+                batch = wire.decode_reports(payload["reports"])
+            except (KeyError, wire.WireFormatError, ValueError) as exc:
+                return 400, {"error": "bad_reports", "detail": str(exc)}
+            n = wire.report_count(batch)
         if n != len(users):
             return 400, {
                 "error": "bad_request",
                 "detail": f"batch carries {n} reports for {len(users)} "
                 f"users",
             }
+
+        # Validate before charging: a shape/protocol violation the
+        # codec could not catch must not consume anyone's budget.  On
+        # the sharded path this runs the checks the worker's absorb
+        # would, so a batch that reaches a worker queue cannot fail on
+        # client data.
+        try:
+            campaign.validate_batch(batch)
+        except ValueError as exc:
+            return 400, {"error": "bad_reports", "detail": str(exc)}
+
+        # Backpressure before budget: a full shard queue rejects the
+        # batch retryably (429 + Retry-After) with nothing charged.
+        # The capacity check cannot go stale — handlers are the only
+        # producers and run single-threaded on the event loop.
+        worker = None
+        if self._workers is not None:
+            route_key = (
+                str(key) if key is not None
+                else f"batch:{self._batches_accepted}"
+            )
+            worker = self._workers[self._ring.route(route_key)]
+            if not worker.has_capacity():
+                return 429, {
+                    "error": "backpressure",
+                    "campaign": campaign.fingerprint,
+                    "shard": worker.index,
+                    "retry_after": BACKPRESSURE_RETRY_AFTER,
+                }
 
         # Budget enforcement is atomic per batch *against the global
         # cross-campaign ledger*: either every user has room for all
@@ -512,17 +620,19 @@ class IngestionServer:
                 "lifetime_epsilon": self.ledger.lifetime_epsilon,
             }
 
-        # Absorb before charging: a shape/protocol violation the codec
-        # could not catch must not consume anyone's budget.  The charge
-        # loop below cannot fail — handlers run single-threaded on the
-        # event loop and every user was pre-checked at multiplicity.
-        try:
-            campaign.accumulator.absorb(reports)
-        except ValueError as exc:
-            return 400, {"error": "bad_reports", "detail": str(exc)}
+        if worker is not None:
+            # Validated and pre-checked: hand off to the shard worker
+            # (absorption happens off-loop, in per-shard FIFO order).
+            worker.submit(campaign, batch)
+        else:
+            try:
+                campaign.absorb_shard(0, batch)
+            except ValueError as exc:  # pragma: no cover - validated
+                return 400, {"error": "bad_reports", "detail": str(exc)}
         self.ledger.charge_batch(
             multiplicity, epsilon, campaign=campaign.fingerprint
         )
+        self._wire_batches[wire_version] += 1
         campaign.batches_accepted += 1
         campaign.dirty = True
         self._batches_accepted += 1
@@ -609,12 +719,18 @@ class IngestionServer:
             }
         try:
             body = json.dumps(payload).encode("utf-8")
+            extra = ""
+            if status == 429 and isinstance(payload, dict) and (
+                payload.get("retry_after") is not None
+            ):
+                extra = f"Retry-After: {int(payload['retry_after'])}\r\n"
             writer.write(
                 (
                     f"HTTP/1.1 {status} "
                     f"{_STATUS_TEXT.get(status, 'Unknown')}\r\n"
                     f"Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{extra}"
                     f"Connection: close\r\n\r\n"
                 ).encode("ascii")
                 + body
@@ -643,25 +759,35 @@ class IngestionServer:
             for name, values in urllib.parse.parse_qs(raw_query).items()
         }
         content_length = 0
+        content_type = "application/json"
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     return 400, {"error": "bad_content_length"}
+            elif header == "content-type":
+                content_type = value.strip().lower()
         if content_length > MAX_BODY_BYTES:
             return 413, {"error": "payload_too_large"}
         body = None
         if content_length:
             raw = await reader.readexactly(content_length)
-            try:
-                body = json.loads(raw)
-            except json.JSONDecodeError as exc:
-                return 400, {"error": "bad_json", "detail": str(exc)}
+            if content_type.startswith(wire.COLUMNAR_CONTENT_TYPE):
+                try:
+                    body = wire.unpack_columns(raw)
+                except wire.WireFormatError as exc:
+                    return 400, {"error": "bad_envelope", "detail": str(exc)}
+            else:
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    return 400, {"error": "bad_json", "detail": str(exc)}
         return self._dispatch(method, path, query, body)
 
     # ------------------------------------------------------------------
@@ -687,6 +813,13 @@ class IngestionServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
             self._asyncio_server = None
+        self._stop_workers()
+
+    def _stop_workers(self) -> None:
+        """Drain and join the shard workers (idempotent)."""
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.stop()
 
     def run_in_thread(self) -> "IngestionServer":
         """Serve from a daemon thread; returns once the port is bound.
@@ -742,6 +875,7 @@ class IngestionServer:
         self._thread.join(timeout=10)
         self._thread = None
         self._loop = None
+        self._stop_workers()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

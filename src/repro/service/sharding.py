@@ -1,0 +1,175 @@
+"""Consistent-hash shard routing + worker threads for ingestion.
+
+The sharded server splits each campaign's accumulation across N
+:class:`ShardWorker` threads, each owning index ``i`` of every
+campaign's per-shard accumulator list.  Batches are routed by
+idempotency key through a :class:`ShardRing` (consistent hashing over
+SHA-256 vnode points), so a given key always lands on the same shard —
+across restarts too, which is what keeps kill-and-resume bitwise: the
+same batches replay into the same shards in the same per-shard order.
+
+Workers communicate through bounded queues.  The request handler (on
+the event loop, the only producer) checks capacity *before* charging
+budget — a full queue is HTTP 429 backpressure with a Retry-After, and
+nothing is charged or enqueued.  Validation also happens on the event
+loop (``Campaign.validate_batch``), so a batch that reaches a worker
+cannot fail absorption on client data; residual worker errors (a bug,
+not bad input) are counted and surfaced through ``/healthz``.
+
+Queue sentinels: a :class:`FlushToken` asks the worker to signal when
+everything enqueued before it has been absorbed (checkpoint/estimate
+barriers); ``None`` shuts the worker down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+from typing import Any, List, Optional, Tuple
+
+
+class FlushToken:
+    """Queue barrier: set when every earlier item has been absorbed."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
+class ShardRing:
+    """Consistent-hash ring mapping string keys to shard indices.
+
+    ``vnodes`` points per shard (SHA-256 of ``shard:<i>:<v>``) keep the
+    key distribution even; lookups bisect the sorted point list.  The
+    mapping depends only on ``(shards, vnodes)``, never on process
+    state, so routing is stable across restarts.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = int(shards)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.shards):
+            for v in range(vnodes):
+                digest = hashlib.sha256(
+                    f"shard:{shard}:{v}".encode("ascii")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, key: str) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its hash)."""
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardRing(shards={self.shards})"
+
+
+class ShardWorker:
+    """One shard's absorption thread behind a bounded queue.
+
+    Items are ``(campaign, batch)`` pairs — ``batch`` is either a
+    report container or a columnar
+    :class:`~repro.protocol.reports.ColumnBlock`; the worker calls
+    ``campaign.absorb_shard(self.index, batch)``.  Per-shard FIFO order
+    is the determinism contract: floats fold in arrival order within a
+    shard, and the fan-in merge runs in fixed shard order.
+    """
+
+    def __init__(self, index: int, queue_depth: int = 64) -> None:
+        if queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        self.index = int(index)
+        self.queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self.absorbed_batches = 0
+        self.absorbed_reports = 0
+        self.errors = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{index}", daemon=True
+        )
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardWorker":
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                self.queue.task_done()
+                return
+            if isinstance(item, FlushToken):
+                item.done.set()
+                self.queue.task_done()
+                continue
+            campaign, batch = item
+            try:
+                absorbed = campaign.absorb_shard(self.index, batch)
+                self.absorbed_batches += 1
+                self.absorbed_reports += int(absorbed)
+            except Exception:  # noqa: BLE001 - validated upstream; count
+                self.errors += 1
+            finally:
+                self.queue.task_done()
+
+    # ------------------------------------------------------------------
+    def has_capacity(self) -> bool:
+        """Whether an enqueue right now would succeed.
+
+        Only the event loop produces, so a ``True`` here cannot be
+        invalidated before the matching :meth:`submit` — consumers only
+        drain the queue.
+        """
+        return not self.queue.full()
+
+    def submit(self, campaign: Any, batch: Any) -> None:
+        """Enqueue one validated batch (caller checked capacity)."""
+        self.queue.put_nowait((campaign, batch))
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything enqueued so far has been absorbed."""
+        if not self._started or self._stopped:
+            return
+        token = FlushToken()
+        self.queue.put(token, timeout=timeout)
+        if not token.done.wait(timeout):
+            raise TimeoutError(
+                f"shard {self.index} did not drain within {timeout}s"
+            )
+
+    def depth(self) -> int:
+        """Approximate number of batches waiting in the queue."""
+        return self.queue.qsize()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and stop the worker thread (idempotent)."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        self.queue.put(None, timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardWorker(index={self.index}, depth={self.depth()}, "
+            f"batches={self.absorbed_batches}, errors={self.errors})"
+        )

@@ -28,18 +28,38 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
-from typing import Any, Dict, Optional, Union
+import struct
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.frequency.olh import OLHReports
 from repro.multidim.collector import MixedReports
-from repro.protocol.reports import SampledNumericReports
+from repro.protocol.reports import ColumnBlock, SampledNumericReports
 from repro.protocol.spec import ProtocolSpec
 
 #: Version of the envelope + payload encoding itself (independent of
-#: the ProtocolSpec schema version).
+#: the ProtocolSpec schema version).  Version 1 is the JSON envelope
+#: codec below; version 2 is the binary columnar framing
+#: (:func:`pack_columns` / :func:`unpack_columns`).
 WIRE_VERSION = 1
+
+#: The binary columnar wire format introduced for the sharded
+#: ingestion tier: one JSON header + packed little-endian arrays.
+WIRE_VERSION_COLUMNAR = 2
+
+#: Every wire version this codec can decode.  Servers advertise this
+#: tuple from ``/spec`` (as ``wire_versions``); clients pick the
+#: highest mutual entry and fall back to v1 against old servers.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
+
+#: Content type of v2 report frames on the HTTP boundary; v1 JSON
+#: envelopes travel as ``application/json``.
+COLUMNAR_CONTENT_TYPE = "application/x-repro-columnar"
+
+#: Leading magic of every v2 frame — rejects stray JSON (or anything
+#: else) posted to the columnar path with a clean 400.
+COLUMNAR_MAGIC = b"RPC2"
 
 
 class WireFormatError(ValueError):
@@ -163,6 +183,241 @@ def decode_reports(obj: Dict[str, Any]):
             },
         )
     raise WireFormatError(f"unknown report payload type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Columnar report form (wire v2)
+# ----------------------------------------------------------------------
+def reports_to_columns(reports) -> ColumnBlock:
+    """Canonical columnar form of any report container.
+
+    The v2 twin of :func:`encode_reports`: same container coverage
+    (plain arrays, ``OLHReports``, ``SampledNumericReports``,
+    ``MixedReports``), but the output is a
+    :class:`~repro.protocol.reports.ColumnBlock` whose arrays are the
+    container's own buffers — nothing is copied or re-encoded until
+    :func:`pack_columns` frames them.
+    """
+    if isinstance(reports, SampledNumericReports):
+        return ColumnBlock(
+            kind="sampled-numeric",
+            n=reports.n,
+            meta={"d": int(reports.d), "k": int(reports.k)},
+            columns=reports.to_columns(),
+        )
+    if isinstance(reports, OLHReports):
+        return ColumnBlock(
+            kind="olh", n=len(reports), columns=reports.to_columns()
+        )
+    if isinstance(reports, MixedReports):
+        return ColumnBlock(
+            kind="mixed",
+            n=int(reports.n),
+            meta={
+                "categorical": {
+                    name: "olh" if isinstance(sub, OLHReports) else "array"
+                    for name, sub in reports.categorical.items()
+                }
+            },
+            columns=reports.to_columns(),
+        )
+    arr = np.asarray(reports)
+    if arr.dtype == object:
+        raise WireFormatError(
+            f"cannot encode report container of type "
+            f"{type(reports).__name__}"
+        )
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    return ColumnBlock(kind="array", n=int(arr.shape[0]),
+                       columns={"array": arr})
+
+
+def columns_to_reports(block: ColumnBlock):
+    """Inverse of :func:`reports_to_columns` (bitwise).
+
+    Only needed off the hot path — the server absorbs
+    :class:`ColumnBlock` batches directly via
+    ``ServerAccumulator.absorb_columns`` — but kept total over the
+    container vocabulary so v2 frames can always be lifted back to the
+    objects v1 tooling expects.
+    """
+    if block.kind == "array":
+        return block.column("array")
+    if block.kind == "sampled-numeric":
+        try:
+            d, k = int(block.meta["d"]), int(block.meta["k"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireFormatError(
+                f"sampled-numeric block needs integer d/k metadata: {exc}"
+            ) from exc
+        return SampledNumericReports.from_columns(block.columns, d=d, k=k)
+    if block.kind == "olh":
+        return OLHReports.from_columns(
+            {"seeds": block.column("seeds"), "buckets": block.column("buckets")}
+        )
+    if block.kind == "mixed":
+        categorical = block.meta.get("categorical")
+        if not isinstance(categorical, dict):
+            raise WireFormatError(
+                "mixed block carries no 'categorical' kind map"
+            )
+        return MixedReports.from_columns(
+            block.columns,
+            n=block.n,
+            categorical={str(k): str(v) for k, v in categorical.items()},
+        )
+    raise WireFormatError(f"unknown columnar block kind {block.kind!r}")
+
+
+def _little_endian(arr: np.ndarray) -> np.ndarray:
+    """C-contiguous little-endian view/copy of ``arr`` for framing."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return arr
+
+
+def pack_columns(
+    block: ColumnBlock,
+    fingerprint: str,
+    *,
+    users: Optional[List[str]] = None,
+    idempotency_key: Optional[str] = None,
+    campaign: Optional[str] = None,
+) -> bytes:
+    """Frame a columnar batch as one v2 binary message.
+
+    Layout: ``RPC2`` magic, a little-endian uint32 header length, a
+    UTF-8 JSON header (wire version, fingerprint, campaign address,
+    block kind/n/meta, users, idempotency key, and a column table of
+    name/dtype/shape/offset/nbytes), then the packed little-endian
+    array payloads back to back.  The array bytes are transported
+    untouched, so the round-trip through :func:`unpack_columns` is
+    bitwise.
+    """
+    names = sorted(block.columns)
+    table = []
+    payloads = []
+    offset = 0
+    for name in names:
+        arr = _little_endian(block.columns[name])
+        raw = arr.tobytes()
+        table.append({
+            "name": name,
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+            "nbytes": len(raw),
+        })
+        payloads.append(raw)
+        offset += len(raw)
+    header: Dict[str, Any] = {
+        "wire_version": WIRE_VERSION_COLUMNAR,
+        "fingerprint": str(fingerprint),
+        "kind": block.kind,
+        "n": int(block.n),
+        "meta": block.meta,
+        "columns": table,
+    }
+    if users is not None:
+        header["users"] = [str(u) for u in users]
+    if idempotency_key is not None:
+        header["idempotency_key"] = str(idempotency_key)
+    if campaign is not None:
+        header["campaign"] = str(campaign)
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [COLUMNAR_MAGIC, struct.pack("<I", len(head)), head] + payloads
+    )
+
+
+def unpack_columns(data: bytes) -> Dict[str, Any]:
+    """Parse a v2 frame into an envelope-shaped dict.
+
+    Returns ``{"wire_version": 2, "fingerprint": ..., "campaign": ...,
+    "payload": {"users": ..., "idempotency_key": ..., "columns":
+    ColumnBlock}}`` — the same envelope shape :func:`pack` produces, so
+    the receiver routes (:func:`envelope_campaign`) and fingerprint-
+    checks (:func:`unpack`) v1 and v2 traffic through one path.
+    Structural damage (bad magic, truncated header or payload, column
+    table out of bounds) raises :class:`WireFormatError`.
+    """
+    if len(data) < 8 or data[:4] != COLUMNAR_MAGIC:
+        raise WireFormatError(
+            "not a columnar v2 frame (bad magic); v1 clients must POST "
+            "JSON envelopes"
+        )
+    (head_len,) = struct.unpack("<I", data[4:8])
+    head_end = 8 + head_len
+    if head_end > len(data):
+        raise WireFormatError(
+            f"truncated columnar frame: header claims {head_len} bytes, "
+            f"{len(data) - 8} available"
+        )
+    try:
+        header = json.loads(data[8:head_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(
+            f"malformed columnar header: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise WireFormatError("columnar header must be a JSON object")
+    body = data[head_end:]
+    table = header.get("columns")
+    if not isinstance(table, list):
+        raise WireFormatError("columnar header carries no column table")
+    columns: Dict[str, np.ndarray] = {}
+    for entry in table:
+        try:
+            name = str(entry["name"])
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(s) for s in entry["shape"])
+            start = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireFormatError(
+                f"malformed column table entry: {exc}"
+            ) from exc
+        if start < 0 or nbytes < 0 or start + nbytes > len(body):
+            raise WireFormatError(
+                f"column {name!r} spans [{start}, {start + nbytes}) but "
+                f"payload holds {len(body)} bytes"
+            )
+        arr = np.frombuffer(body[start:start + nbytes], dtype=dtype)
+        if arr.size != int(np.prod(shape, dtype=np.int64)):
+            raise WireFormatError(
+                f"column {name!r} carries {arr.size} elements, shape "
+                f"{shape} needs {int(np.prod(shape, dtype=np.int64))}"
+            )
+        # frombuffer views are read-only; copy so absorb can run freely.
+        columns[name] = arr.reshape(shape).copy()
+    meta = header.get("meta")
+    if meta is None:
+        meta = {}
+    if not isinstance(meta, dict):
+        raise WireFormatError("columnar header 'meta' must be an object")
+    try:
+        block = ColumnBlock(
+            kind=str(header.get("kind")),
+            n=int(header.get("n", -1)),
+            meta=meta,
+            columns=columns,
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed columnar block: {exc}") from exc
+    envelope: Dict[str, Any] = {
+        "wire_version": header.get("wire_version"),
+        "fingerprint": header.get("fingerprint"),
+        "payload": {
+            "users": header.get("users"),
+            "idempotency_key": header.get("idempotency_key"),
+            "columns": block,
+        },
+    }
+    if header.get("campaign") is not None:
+        envelope["campaign"] = header["campaign"]
+    return envelope
 
 
 # ----------------------------------------------------------------------
@@ -326,10 +581,10 @@ def unpack(
     fingerprint differs from ``expected_fingerprint``.
     """
     version = envelope.get("wire_version")
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireFormatError(
             f"unsupported wire_version {version!r}; this endpoint "
-            f"speaks version {WIRE_VERSION}"
+            f"speaks versions {list(SUPPORTED_WIRE_VERSIONS)}"
         )
     fingerprint = envelope.get("fingerprint")
     if fingerprint != expected_fingerprint:

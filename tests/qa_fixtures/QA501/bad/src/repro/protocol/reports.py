@@ -1,4 +1,8 @@
-"""Two report containers; OrphanReports never reaches the codec."""
+"""Three report containers with codec gaps.
+
+``OrphanReports`` never reaches the codec at all; ``HalfWiredReports``
+only has v1 JSON entries, so a v2 (columnar) fleet cannot submit it.
+"""
 
 
 class SampledNumericReports:
@@ -10,3 +14,8 @@ class SampledNumericReports:
 class OrphanReports:
     def __init__(self, blob=b""):
         self.blob = blob
+
+
+class HalfWiredReports:
+    def __init__(self, items=()):
+        self.items = items

@@ -1,4 +1,11 @@
-"""One report container, fully registered in the wire codec."""
+"""One report container, fully registered in both wire formats."""
+
+
+class ColumnBlock:  # carrier: the columnar wire form itself, exempt
+    def __init__(self, kind="", n=0, columns=None):
+        self.kind = kind
+        self.n = n
+        self.columns = columns or {}
 
 
 class SampledNumericReports:

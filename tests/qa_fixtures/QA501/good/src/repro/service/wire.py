@@ -1,6 +1,6 @@
-"""Codec with an entry for every container in protocol/reports.py."""
+"""Codec with v1 AND v2 entries for every container in reports.py."""
 
-from repro.protocol.reports import SampledNumericReports
+from repro.protocol.reports import ColumnBlock, SampledNumericReports
 
 
 def encode_reports(reports):
@@ -13,3 +13,19 @@ def decode_reports(payload):
     if payload["type"] == "sampled-numeric":
         return SampledNumericReports(cols=payload["cols"])
     raise TypeError(f"cannot decode report payload {payload['type']}")
+
+
+def reports_to_columns(reports):
+    if isinstance(reports, SampledNumericReports):
+        return ColumnBlock(
+            kind="sampled-numeric",
+            n=len(reports.cols),
+            columns={"cols": reports.cols},
+        )
+    raise TypeError(f"cannot encode report container {type(reports)}")
+
+
+def columns_to_reports(block):
+    if block.kind == "sampled-numeric":
+        return SampledNumericReports(cols=block.columns["cols"])
+    raise TypeError(f"cannot decode columnar block {block.kind}")

@@ -113,15 +113,30 @@ class TestSnapshotCompleteness:
 
 
 class TestWireCodecExhaustiveness:
-    def test_orphan_container_flagged_in_both_functions(self):
+    def test_orphan_container_flagged_in_all_four_functions(self):
         found = findings(FIXTURES / "QA501" / "bad", ["QA501"])
-        assert len(found) == 2
-        assert all("OrphanReports" in v.message for v in found)
-        joined = " ".join(v.message for v in found)
+        orphan = [v for v in found if "OrphanReports" in v.message]
+        assert len(orphan) == 4
+        joined = " ".join(v.message for v in orphan)
         assert "encode_reports" in joined
         assert "decode_reports" in joined
+        assert "reports_to_columns" in joined
+        assert "columns_to_reports" in joined
+
+    def test_v1_only_container_flagged_on_columnar_path(self):
+        # HalfWiredReports has v1 JSON entries but no columnar ones:
+        # exactly the two v2 functions must flag it.
+        found = findings(FIXTURES / "QA501" / "bad", ["QA501"])
+        half = [v for v in found if "HalfWiredReports" in v.message]
+        assert len(half) == 2
+        joined = " ".join(v.message for v in half)
+        assert "reports_to_columns" in joined
+        assert "columns_to_reports" in joined
+        assert "encode_reports" not in joined
 
     def test_registered_container_passes(self):
+        # The good tree also defines the ColumnBlock carrier, which is
+        # exempt — it is the columnar wire form, not a container.
         assert findings(FIXTURES / "QA501" / "good", ["QA501"]) == []
 
 

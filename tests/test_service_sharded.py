@@ -1,0 +1,419 @@
+"""Sharded ingestion tier: mixed-fleet e2e, routing, backpressure.
+
+These tests drive the v2 (columnar) wire format and the shard/merge
+tier end-to-end: a v1 JSON client and a v2 columnar client ingesting
+concurrently into the same campaign must land in the same aggregate,
+bitwise; a kill-and-resume under a sharded server must match an
+uninterrupted run; and a full shard queue must reject retryably (429 +
+Retry-After) with nothing charged.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.protocol import Protocol
+from repro.service import (
+    IngestionServer,
+    ServiceClient,
+    ServiceError,
+    SnapshotStore,
+    wire,
+)
+from repro.service.sharding import ShardRing, ShardWorker
+
+SEED = 77
+N = 400
+DOMAIN = 32
+
+
+def _protocol():
+    return Protocol.frequency(1.0, domain=DOMAIN, oracle="oue")
+
+
+def _values():
+    return np.random.default_rng(4).integers(0, DOMAIN, N)
+
+
+def _users(n, prefix="u"):
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+@pytest.fixture
+def serve():
+    running = []
+
+    def _boot(*args, **kwargs):
+        server = IngestionServer(*args, **kwargs).run_in_thread()
+        running.append(server)
+        return server
+
+    yield _boot
+    for server in running:
+        server.stop()
+
+
+class TestNegotiation:
+    def test_spec_offers_both_versions(self, serve):
+        server = serve(_protocol())
+        client = ServiceClient("127.0.0.1", server.port)
+        spec = client.fetch_spec()
+        # "wire_version": 1 stays for pre-negotiation clients that
+        # equality-check it; the offer list is the new field.
+        assert spec["wire_version"] == wire.WIRE_VERSION
+        assert spec["wire_versions"] == list(wire.SUPPORTED_WIRE_VERSIONS)
+
+    def test_sdk_negotiates_columnar_by_default(self, serve):
+        server = serve(_protocol())
+        client = ServiceClient("127.0.0.1", server.port)
+        assert (
+            client.negotiated_wire_version == wire.WIRE_VERSION_COLUMNAR
+        )
+
+    def test_forced_v1_sticks_and_submits_json(self, serve):
+        server = serve(_protocol())
+        client = ServiceClient("127.0.0.1", server.port, wire_version=1)
+        assert client.negotiated_wire_version == wire.WIRE_VERSION
+        client.submit(_values()[:10], users=_users(10), rng=SEED)
+        counts = client.healthz()["wire_versions"]
+        assert counts == {"1": 1, "2": 0}
+
+    def test_unsupported_forced_version_rejected_locally(self):
+        with pytest.raises(ValueError):
+            ServiceClient("127.0.0.1", 1, wire_version=3)
+
+    def test_v1_only_server_falls_back(self, serve, monkeypatch):
+        # Simulate a pre-negotiation server by stripping the offer
+        # list from its /spec response: the SDK must fall back to the
+        # single advertised version instead of assuming v2.
+        server = serve(_protocol())
+        real_request = ServiceClient._request
+
+        def stripped(self, method, path, **kwargs):
+            response = real_request(self, method, path, **kwargs)
+            if path.startswith("/spec") and isinstance(response, dict):
+                response = {
+                    k: v
+                    for k, v in response.items()
+                    if k != "wire_versions"
+                }
+            return response
+
+        monkeypatch.setattr(ServiceClient, "_request", stripped)
+        client = ServiceClient("127.0.0.1", server.port)
+        assert client.negotiated_wire_version == wire.WIRE_VERSION
+        with pytest.raises(wire.WireFormatError):
+            ServiceClient(
+                "127.0.0.1",
+                server.port,
+                wire_version=wire.WIRE_VERSION_COLUMNAR,
+            ).fetch_spec()
+
+
+class TestMixedFleet:
+    def test_v1_and_v2_clients_concurrently_bitwise_equal(self, serve):
+        """The headline invariant: a mixed v1/v2 fleet ingesting
+        concurrently into a sharded campaign reproduces a single local
+        ``Protocol.run`` bitwise (frequency counts are integral, so
+        arrival order cannot perturb them)."""
+        protocol = _protocol()
+        values = _values()
+        # Encode the whole cohort ONCE with the run seed, then slice
+        # the report matrix — absorbing the slices in any order sums
+        # to exactly what Protocol.run computes.
+        reports = protocol.client().encode_batch(
+            values, np.random.default_rng(SEED)
+        )
+        chunks = np.array_split(np.asarray(reports), 8)
+        users = _users(N)
+        user_chunks, start = [], 0
+        for chunk in chunks:
+            user_chunks.append(users[start : start + len(chunk)])
+            start += len(chunk)
+
+        server = serve(protocol, shards=3)
+        v1 = ServiceClient("127.0.0.1", server.port, wire_version=1)
+        v2 = ServiceClient("127.0.0.1", server.port)
+        assert v2.negotiated_wire_version == wire.WIRE_VERSION_COLUMNAR
+
+        def drain(client, indices):
+            for i in indices:
+                client.submit_reports(chunks[i], users=user_chunks[i])
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(drain, v1, range(0, 8, 2)),
+                pool.submit(drain, v2, range(1, 8, 2)),
+            ]
+            for future in futures:
+                future.result()
+
+        estimate = v2.estimate()
+        np.testing.assert_array_equal(
+            np.asarray(estimate),
+            np.asarray(protocol.run(values, rng=SEED)),
+        )
+
+        health = v2.healthz()
+        assert health["reports"] == N
+        assert health["wire_versions"] == {"1": 4, "2": 4}
+        assert health["shards"]["count"] == 3
+        assert len(health["shards"]["queue_depths"]) == 3
+        assert sum(health["shards"]["absorbed_batches"]) == 8
+        assert health["shards"]["absorb_errors"] == [0, 0, 0]
+        # /estimate flushed every shard before answering.
+        assert health["shards"]["queue_depths"] == [0, 0, 0]
+
+    def test_columnar_duplicate_detection(self, serve):
+        protocol = _protocol()
+        server = serve(protocol, lifetime_epsilon=10.0)
+        client = ServiceClient("127.0.0.1", server.port)
+        reports = protocol.client().encode_batch(
+            _values()[:20], np.random.default_rng(SEED)
+        )
+        first = client.submit_reports(reports, users=_users(20))
+        again = client.submit_reports(reports, users=_users(20))
+        assert first["accepted"] == 20
+        assert again["status"] == "duplicate"
+        assert client.healthz()["reports"] == 20
+
+    def test_columnar_invalid_batch_charges_nothing(self, serve):
+        # A 1-D frequency batch with an out-of-domain value fails
+        # validation BEFORE the ledger charge.
+        server = serve(_protocol())
+        client = ServiceClient("127.0.0.1", server.port)
+        assert (
+            client.negotiated_wire_version == wire.WIRE_VERSION_COLUMNAR
+        )
+        with pytest.raises(ServiceError):
+            client.submit_reports(
+                np.array([DOMAIN + 7]), users=["x1"]
+            )
+        assert client.healthz()["users_charged"] == 0
+
+    def test_columnar_fingerprint_mismatch_409(self, serve):
+        server = serve(_protocol())
+        client = ServiceClient("127.0.0.1", server.port)
+        block = wire.reports_to_columns(np.zeros((2, DOMAIN), dtype=int))
+        frame = wire.pack_columns(
+            block, "0" * 64, users=["a", "b"], idempotency_key="k"
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST",
+                "/report",
+                raw_body=frame,
+                content_type=wire.COLUMNAR_CONTENT_TYPE,
+            )
+        assert excinfo.value.status == 409
+
+
+class TestShardedDurability:
+    def _batches(self, protocol, count=6, size=30):
+        encoder = protocol.client()
+        out = []
+        for i in range(count):
+            chunk = np.random.default_rng(100 + i).integers(
+                0, DOMAIN, size
+            )
+            out.append(
+                (
+                    encoder.encode_batch(
+                        chunk, np.random.default_rng(200 + i)
+                    ),
+                    _users(size, prefix=f"b{i}-"),
+                )
+            )
+        return out
+
+    def test_kill_and_resume_sharded_bitwise(self, serve, tmp_path):
+        protocol = _protocol()
+        batches = self._batches(protocol)
+
+        # Uninterrupted twin: same shard count, same submission order.
+        control = serve(protocol, shards=2)
+        control_client = ServiceClient("127.0.0.1", control.port)
+        for reports, users in batches:
+            control_client.submit_reports(reports, users=users)
+
+        first = serve(
+            protocol,
+            store=SnapshotStore(tmp_path),
+            checkpoint_every=2,
+            shards=2,
+        )
+        client = ServiceClient("127.0.0.1", first.port)
+        for reports, users in batches[:4]:
+            client.submit_reports(reports, users=users)
+        first.stop()  # abrupt: crash-equivalent, no final checkpoint
+
+        second = serve(
+            protocol,
+            store=SnapshotStore(tmp_path),
+            checkpoint_every=2,
+            shards=2,
+        )
+        assert second.port != first.port or True  # ports are ephemeral
+        resumed = ServiceClient("127.0.0.1", second.port)
+        assert resumed.healthz()["resumed_from_snapshot"] is not None
+        # Replay everything: checkpointed batches answer as duplicates
+        # (same derived idempotency keys), lost ones re-absorb.
+        for reports, users in batches:
+            resumed.submit_reports(reports, users=users)
+        assert resumed.healthz()["duplicates"] > 0
+
+        np.testing.assert_array_equal(
+            np.asarray(resumed.estimate()),
+            np.asarray(control_client.estimate()),
+        )
+
+    def test_resume_refuses_shard_count_mismatch(self, serve, tmp_path):
+        protocol = _protocol()
+        first = serve(
+            protocol,
+            store=SnapshotStore(tmp_path),
+            checkpoint_every=1,
+            shards=2,
+        )
+        client = ServiceClient("127.0.0.1", first.port)
+        reports, users = self._batches(protocol, count=1)[0]
+        client.submit_reports(reports, users=users)
+        first.stop()
+
+        with pytest.raises(ValueError, match="--shards"):
+            IngestionServer(
+                protocol,
+                store=SnapshotStore(tmp_path),
+                shards=3,
+            )
+
+    def test_single_shard_snapshot_loads_into_sharded_server(
+        self, serve, tmp_path
+    ):
+        # A v1-era (single accumulator) snapshot restores into shard 0
+        # of a sharded server; the merge over empty siblings is exact.
+        protocol = _protocol()
+        batches = self._batches(protocol)
+        first = serve(
+            protocol, store=SnapshotStore(tmp_path), checkpoint_every=1
+        )
+        client = ServiceClient("127.0.0.1", first.port)
+        for reports, users in batches[:3]:
+            client.submit_reports(reports, users=users)
+        first.stop()
+
+        second = serve(
+            protocol,
+            store=SnapshotStore(tmp_path),
+            checkpoint_every=1,
+            shards=3,
+        )
+        resumed = ServiceClient("127.0.0.1", second.port)
+        for reports, users in batches[3:]:
+            resumed.submit_reports(reports, users=users)
+
+        reference = protocol.server()
+        for reports, _ in batches:
+            reference.absorb(reports)
+        np.testing.assert_array_equal(
+            np.asarray(resumed.estimate()),
+            np.asarray(reference.estimate()),
+        )
+
+
+class TestBackpressure:
+    def test_full_shard_queue_rejects_retryably(self):
+        # Freeze the workers (stop them so nothing drains), then drive
+        # the handler directly: the first batch fills the depth-1
+        # queue, the second must bounce with 429/Retry-After and leave
+        # the ledger and idempotency set untouched.
+        protocol = _protocol()
+        server = IngestionServer(protocol, shards=2, shard_queue_depth=1)
+        server._stop_workers()
+        encoder = protocol.client()
+
+        def envelope(i, key):
+            chunk = np.random.default_rng(i).integers(0, DOMAIN, 5)
+            reports = encoder.encode_batch(
+                chunk, np.random.default_rng(i)
+            )
+            return wire.pack(
+                {
+                    "users": _users(5, prefix=f"bp{i}-"),
+                    "idempotency_key": key,
+                    "reports": wire.encode_reports(reports),
+                },
+                server.fingerprint,
+            )
+
+        # Pick two keys that route to the same shard.
+        target = server._ring.route("key-0")
+        other = next(
+            f"key-{i}"
+            for i in range(1, 1000)
+            if server._ring.route(f"key-{i}") == target
+        )
+
+        status, payload = server._handle_report(envelope(0, "key-0"))
+        assert status == 200
+
+        status, payload = server._handle_report(envelope(1, other))
+        assert status == 429
+        assert payload["error"] == "backpressure"
+        assert payload["shard"] == target
+        assert payload["retry_after"] >= 1
+        # Nothing charged, key not burned: a retry is a fresh attempt.
+        assert len(server.ledger.users()) == 5
+        assert other not in server.registry.default.seen_keys
+
+    def test_shard_ring_is_deterministic_and_covers_all_shards(self):
+        ring = ShardRing(4)
+        routes = [ring.route(f"k{i}") for i in range(1000)]
+        assert routes == [ring.route(f"k{i}") for i in range(1000)]
+        assert set(routes) == {0, 1, 2, 3}
+        # Stable across instances (restart-stable routing).
+        twin = ShardRing(4)
+        assert routes[:50] == [twin.route(f"k{i}") for i in range(50)]
+
+    def test_worker_capacity_and_flush(self):
+        class FakeCampaign:
+            def __init__(self):
+                self.batches = []
+
+            def absorb_shard(self, index, batch):
+                self.batches.append((index, batch))
+                return 1
+
+        worker = ShardWorker(0, queue_depth=2)
+        campaign = FakeCampaign()
+        worker.submit(campaign, "a")
+        worker.submit(campaign, "b")
+        assert not worker.has_capacity()
+        assert worker.depth() == 2
+        worker.start()
+        worker.flush()
+        assert worker.depth() == 0
+        assert worker.absorbed_batches == 2
+        assert campaign.batches == [(0, "a"), (0, "b")]
+        worker.stop()
+        worker.stop()  # idempotent
+
+
+class TestHealthz:
+    def test_fresh_sharded_server_shape(self, serve):
+        server = serve(_protocol(), shards=2)
+        health = ServiceClient("127.0.0.1", server.port).healthz()
+        assert health["wire_versions"] == {"1": 0, "2": 0}
+        shards = health["shards"]
+        assert shards["count"] == 2
+        assert shards["queue_depths"] == [0, 0]
+        assert shards["absorbed_batches"] == [0, 0]
+        assert shards["absorb_errors"] == [0, 0]
+
+    def test_unsharded_server_reports_single_shard(self, serve):
+        server = serve(_protocol())
+        health = ServiceClient("127.0.0.1", server.port).healthz()
+        assert health["shards"]["count"] == 1
+        assert health["shards"]["queue_depths"] == []
