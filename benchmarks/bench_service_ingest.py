@@ -89,12 +89,14 @@ def _run_ingest(
     checkpoint_every=None,
     wire_version=None,
     shards=1,
+    instrument=True,
 ):
     server = IngestionServer(
         protocol,
         store=store,
         checkpoint_every=checkpoint_every,
         shards=shards,
+        instrument=instrument,
     ).run_in_thread()
     try:
         client = ServiceClient(
@@ -256,6 +258,12 @@ def bench_workloads(workloads, n: int) -> dict:
         v2_s, v2_estimate = _run_ingest(
             protocol, batches, wire_version=wire.WIRE_VERSION_COLUMNAR
         )
+        bare_s, bare_estimate = _run_ingest(
+            protocol,
+            batches,
+            wire_version=wire.WIRE_VERSION_COLUMNAR,
+            instrument=False,
+        )
         sharded_s, sharded_estimate = _run_ingest(
             protocol,
             batches,
@@ -269,6 +277,9 @@ def bench_workloads(workloads, n: int) -> dict:
         )
         _check_estimate(
             name, "wire_v2", v2_estimate, reference_estimate
+        )
+        _check_estimate(
+            name, "wire_v2_bare", bare_estimate, reference_estimate
         )
         sharded_check = _check_estimate(
             name,
@@ -297,6 +308,15 @@ def bench_workloads(workloads, n: int) -> dict:
                 "reports_per_second": n / v2_s,
                 "speedup_vs_v1": plain_s / v2_s,
             },
+            # The observability budget: identical v2 run with the
+            # request-path instruments nulled out (instrument=False).
+            # The ratio is what repro.obs costs on the hot path; the
+            # contract is <= 1.05 on a full (non-smoke) run.
+            "ingest_wire_v2_uninstrumented": {
+                "seconds": bare_s,
+                "reports_per_second": n / bare_s,
+                "metrics_overhead_vs_uninstrumented": v2_s / bare_s,
+            },
             "ingest_wire_v2_sharded": {
                 "seconds": sharded_s,
                 "reports_per_second": n / sharded_s,
@@ -310,7 +330,8 @@ def bench_workloads(workloads, n: int) -> dict:
             f"{n / durable_s:>10.0f} reports/s v1+checkpoints, "
             f"{n / v2_s:>10.0f} reports/s v2, "
             f"{n / sharded_s:>10.0f} reports/s v2+{SHARDS} shards "
-            f"[{plain_s / v2_s:.2f}x v2 speedup]"
+            f"[{plain_s / v2_s:.2f}x v2 speedup, "
+            f"{(v2_s / bare_s - 1) * 100:+.1f}% metrics overhead]"
         )
     return out
 

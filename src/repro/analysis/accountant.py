@@ -10,7 +10,7 @@ participate in exactly one iteration (Section V's m = 1 argument).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.core.validation import check_epsilon
 
@@ -49,6 +49,12 @@ class PrivacyAccountant:
     def spent(self, user: str) -> float:
         """Total eps already consumed by ``user``."""
         return self._spent.get(user, 0.0)
+
+    def spent_many(self, users: Iterable[str]) -> List[float]:
+        """Bulk :meth:`spent` — one bound ``dict.get`` per user, no
+        per-user method dispatch (metrics hot path reads whole batches)."""
+        get = self._spent.get
+        return [get(user, 0.0) for user in users]
 
     def remaining(self, user: str) -> float:
         """Budget left before ``user`` hits the lifetime cap."""

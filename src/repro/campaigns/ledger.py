@@ -59,6 +59,9 @@ class CrossCampaignLedger:
     def spent(self, user: str) -> float:
         return self.accountant.spent(user)
 
+    def spent_many(self, users: Iterable[str]) -> List[float]:
+        return self.accountant.spent_many(users)
+
     def remaining(self, user: str) -> float:
         return self.accountant.remaining(user)
 

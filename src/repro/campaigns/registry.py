@@ -26,10 +26,13 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.campaigns.lifecycle import CampaignState, check_transition
+from repro.obs.logging import get_logger
 from repro.protocol.accumulators import ServerAccumulator
 from repro.protocol.facade import Protocol
 from repro.protocol.reports import ColumnBlock
 from repro.protocol.spec import ProtocolSpec
+
+_log = get_logger("repro.campaigns.registry")
 
 
 class UnknownCampaignError(KeyError):
@@ -152,16 +155,38 @@ class Campaign:
     def seal(self) -> CampaignState:
         """``open -> sealed`` (idempotent on sealed/estimated)."""
         if self.state is not CampaignState.ESTIMATED:
+            was = self.state
             self.state = check_transition(self.state, CampaignState.SEALED)
             self.dirty = True
+            if self.state is not was:
+                _log.info(
+                    "campaign state transition",
+                    extra={
+                        "campaign": self.fingerprint,
+                        "from": was.value,
+                        "to": self.state.value,
+                        "reports": self.reports,
+                    },
+                )
         return self.state
 
     def mark_estimated(self) -> CampaignState:
         """``sealed -> estimated`` — called when a final estimate is
         served; estimating an *open* campaign is allowed but non-final
         and does not transition."""
+        was = self.state
         self.state = check_transition(self.state, CampaignState.ESTIMATED)
         self.dirty = True
+        if self.state is not was:
+            _log.info(
+                "campaign state transition",
+                extra={
+                    "campaign": self.fingerprint,
+                    "from": was.value,
+                    "to": self.state.value,
+                    "reports": self.reports,
+                },
+            )
         return self.state
 
     # ------------------------------------------------------------------

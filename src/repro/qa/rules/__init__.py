@@ -16,6 +16,7 @@ from repro.qa.rules.atomicity import ChargeAbsorbAtomicityRule
 from repro.qa.rules.snapshots import SnapshotCompletenessRule
 from repro.qa.rules.wirecodec import WireCodecExhaustivenessRule
 from repro.qa.rules.exceptions import ExceptionHygieneRule
+from repro.qa.rules.logdiscipline import LoggingDisciplineRule
 
 #: Every shipped rule, in id order.
 ALL_RULES: List[Rule] = [
@@ -25,6 +26,7 @@ ALL_RULES: List[Rule] = [
     SnapshotCompletenessRule(),
     WireCodecExhaustivenessRule(),
     ExceptionHygieneRule(),
+    LoggingDisciplineRule(),
 ]
 
 _BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
@@ -39,6 +41,7 @@ __all__ = [
     "ALL_RULES",
     "ChargeAbsorbAtomicityRule",
     "ExceptionHygieneRule",
+    "LoggingDisciplineRule",
     "PrivacyBoundaryRule",
     "RngDisciplineRule",
     "SnapshotCompletenessRule",

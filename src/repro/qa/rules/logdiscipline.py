@@ -1,0 +1,129 @@
+"""QA701 — logging discipline: library code logs, entrypoints print.
+
+With the obs subsystem (PR 9) the service tier emits structured,
+context-bound log records (``repro.obs.logging``); a stray ``print()``
+in library code bypasses the formatter, the level gate and the
+contextvars-propagated request/campaign ids, and lands unparseable
+bytes in whatever stream the *process* owns.  Likewise
+``logging.basicConfig`` (or any root-logger handler mutation) is a
+process-wide decision: a library module calling it hijacks the
+embedding application's logging configuration at import or call time.
+
+Flagged, in any module that is not an entrypoint:
+
+* calls to the builtin ``print`` (unless shadowed by a local
+  definition or import — those never resolve to the builtin);
+* calls resolving to ``logging.basicConfig``, and root-handler
+  mutation via ``logging.getLogger()`` with no name.
+
+*Entrypoint* modules are exempt wholesale — a CLI's stdout is its
+user interface, and configuring the root logger is exactly an
+entrypoint's job.  A module counts as an entrypoint when it is named
+``__main__`` (``python -m`` target) or carries a top-level
+``if __name__ == "__main__":`` guard (script-style executables:
+experiment figures, the linter driver itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.qa.core import Module, Project, Rule, Violation
+
+
+def _is_main_guard(node: ast.stmt) -> bool:
+    """Whether ``node`` is a top-level ``if __name__ == "__main__":``."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Eq)
+        and len(test.comparators) == 1
+    ):
+        return False
+    sides = [test.left, test.comparators[0]]
+    names = [
+        s.id for s in sides if isinstance(s, ast.Name)
+    ]
+    consts = [
+        s.value
+        for s in sides
+        if isinstance(s, ast.Constant) and isinstance(s.value, str)
+    ]
+    return names == ["__name__"] and consts == ["__main__"]
+
+
+def _is_entrypoint(module: Module) -> bool:
+    if module.name.rpartition(".")[2] == "__main__":
+        return True
+    return any(_is_main_guard(stmt) for stmt in module.tree.body)
+
+
+def _shadows_print(module: Module) -> bool:
+    """Whether the module rebinds ``print`` (def/import/assignment) —
+    then calls no longer resolve to the builtin."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "print":
+                return True
+            if any(a.arg == "print" for a in node.args.args):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if any((a.asname or a.name) == "print" for a in node.names):
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "print":
+                    return True
+    return False
+
+
+class LoggingDisciplineRule(Rule):
+    id = "QA701"
+    name = "logging-discipline"
+    description = (
+        "library code must log through repro.obs.logging, never "
+        "print(); root-logger configuration (logging.basicConfig) "
+        "belongs to entrypoints (__main__ modules / guarded scripts) "
+        "only"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.modules:
+            if _is_entrypoint(module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Violation]:
+        shadowed = _shadows_print(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not shadowed
+                and isinstance(func, ast.Name)
+                and func.id == "print"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "print() in library code bypasses structured "
+                    "logging (levels, formatters, request/campaign "
+                    "context); use repro.obs.logging.get_logger() — or "
+                    "move the statement into an entrypoint",
+                )
+                continue
+            dotted = module.resolve_call_path(func)
+            if dotted == "logging.basicConfig":
+                yield self.violation(
+                    module,
+                    node,
+                    "logging.basicConfig in library code hijacks the "
+                    "process-wide root logger; only entrypoints may "
+                    "configure handlers (repro.obs.logging."
+                    "configure_logging)",
+                )

@@ -29,6 +29,7 @@ from typing import Any, Callable, Deque, NoReturn, Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, null_registry
 from repro.protocol.accumulators import ServerAccumulator
 from repro.runtime.runner import _resolve_encoder
 from repro.utils.rng import RngLike, ensure_rng
@@ -61,6 +62,11 @@ class StreamingRunner:
         from the absorbing thread — the accumulator is quiescent for the
         duration of the call, so the callback may snapshot its state
         (e.g. via ``repro.service.store.SnapshotStore``).
+    metrics_registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to expose
+        runner gauges/histograms on (pending depth, batches absorbed,
+        encode+absorb latency).  ``None`` means no instrumentation —
+        the runner is also used in tight benchmark loops.
 
     Error handling: if a background encode raises, the exception
     propagates exactly once — out of whichever :meth:`submit` or
@@ -79,6 +85,7 @@ class StreamingRunner:
         max_workers: Optional[int] = None,
         checkpoint_every: Optional[int] = None,
         on_checkpoint: Optional[Callable] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(
@@ -114,6 +121,25 @@ class StreamingRunner:
             int(checkpoint_every) if checkpoint_every is not None else None
         )
         self._on_checkpoint = on_checkpoint
+        obs = (
+            metrics_registry
+            if metrics_registry is not None
+            else null_registry()
+        )
+        obs.gauge(
+            "repro_stream_pending_batches",
+            "Encoded-but-not-yet-absorbed batches held by the "
+            "streaming runner (bounded by max_pending).",
+        ).set_function(lambda: len(self._pending))
+        obs.gauge(
+            "repro_stream_absorbed_batches",
+            "Batches folded into the streaming accumulator so far.",
+        ).set_function(lambda: self._absorbed)
+        self._absorb_seconds = obs.histogram(
+            "repro_stream_absorb_seconds",
+            "Latency of folding one encoded batch into the "
+            "accumulator (excludes encode time).",
+        )
 
     # ------------------------------------------------------------------
     def _next_rng(self) -> np.random.Generator:
@@ -157,7 +183,8 @@ class StreamingRunner:
             reports = future.result()
         except BaseException as exc:  # noqa: BLE001 - re-raised in _fail
             self._fail(exc)
-        self._accumulator.absorb(reports)
+        with self._absorb_seconds.time():
+            self._accumulator.absorb(reports)
         self._absorbed_one()
 
     def submit(self, values: Any, rng: RngLike = None) -> "StreamingRunner":
@@ -170,7 +197,8 @@ class StreamingRunner:
                 reports = self._encoder.encode_batch(values, gen)
             except BaseException as exc:  # noqa: BLE001 - re-raised
                 self._fail(exc)  # same close-after-failure contract
-            self._accumulator.absorb(reports)
+            with self._absorb_seconds.time():
+                self._accumulator.absorb(reports)
             self._absorbed_one()
             return self
         while len(self._pending) >= self.max_pending:

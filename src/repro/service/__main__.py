@@ -22,6 +22,13 @@ campaigns can always be registered at runtime via ``POST /campaigns``.
 With ``--snapshot-dir`` the server checkpoints periodically and
 resumes *all* campaigns plus the cross-campaign ledger from the latest
 manifest on restart.
+
+Observability: ``GET /metrics`` serves Prometheus text exposition;
+``--log-format json`` switches the process to one-JSON-object-per-line
+structured logs.  **SIGTERM drains gracefully**: new batches get 503,
+shard queues flush, a final checkpoint lands (bitwise-equal to what an
+uninterrupted run would have written), and the process exits 0.
+SIGINT (Ctrl-C) keeps its historical behavior: checkpoint and stop.
 """
 
 from __future__ import annotations
@@ -29,8 +36,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 
+from repro.obs.lifecycle import SignalDrain
+from repro.obs.logging import add_logging_arguments, configure_logging
 from repro.service.server import IngestionServer
 from repro.service.store import SnapshotStore
 
@@ -91,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard queue bound in batches; a full queue answers "
         "429 with Retry-After (backpressure)",
     )
+    add_logging_arguments(parser)
     return parser
 
 
@@ -100,6 +111,7 @@ def main(argv=None) -> int:
         build_parser().error(
             "at least one of --spec / --campaigns is required"
         )
+    configure_logging(args.log_format, args.log_level)
 
     def _load(path):
         with open(path, encoding="utf-8") as handle:
@@ -125,9 +137,17 @@ def main(argv=None) -> int:
         shards=args.shards,
         shard_queue_depth=args.shard_queue_depth,
     )
+    drained = False
 
     async def _serve() -> None:
+        nonlocal drained
         await server.start()
+        # SIGTERM = graceful drain: 503 new batches, flush shards,
+        # final checkpoint, exit 0.  SIGINT stays a KeyboardInterrupt
+        # (handled below) for historical Ctrl-C behavior.  Installed
+        # before the banner: once the banner is readable the process
+        # must already be drainable.
+        sigterm = SignalDrain((signal.SIGTERM,)).install()
         default = server.registry.default
         headline = (
             f"{default.spec.kind!r} default campaign"
@@ -151,7 +171,46 @@ def main(argv=None) -> int:
                 f"{' [default]' if campaign.default else ''}",
                 flush=True,
             )
-        await server.serve_forever()
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        drain_task = asyncio.ensure_future(sigterm.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {serve_task, drain_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if serve_task in done and serve_task.exception() is not None:
+                raise serve_task.exception()
+            if drain_task in done:
+                print(
+                    "repro.service: draining (SIGTERM): refusing new "
+                    "batches, flushing shards",
+                    flush=True,
+                )
+                result = server.drain()
+                if result.checkpoint_seq is not None:
+                    print(
+                        f"repro.service: final checkpoint "
+                        f"{result.checkpoint_seq}",
+                        flush=True,
+                    )
+                print(
+                    f"repro.service: drained "
+                    f"({result.batches_accepted} batches accepted, "
+                    f"{result.shards_flushed} shards flushed, "
+                    f"{result.seconds:.3f}s)",
+                    flush=True,
+                )
+                drained = True
+        finally:
+            sigterm.uninstall()
+            for task in (serve_task, drain_task):
+                if not task.done():
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            await server.aclose()
 
     try:
         asyncio.run(_serve())
@@ -159,6 +218,9 @@ def main(argv=None) -> int:
         if store is not None:
             seq = server.checkpoint_now()
             print(f"repro.service: final checkpoint {seq}", flush=True)
+        print("repro.service: stopped", flush=True)
+        return 0
+    if drained:
         print("repro.service: stopped", flush=True)
     return 0
 

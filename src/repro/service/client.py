@@ -37,10 +37,14 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.protocol.facade import Protocol
 from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
 from repro.utils.rng import RngLike
+
+_log = get_logger("repro.service.client")
 
 
 class ServiceError(RuntimeError):
@@ -107,6 +111,11 @@ class ServiceClient:
         picks the highest version both it and the server's
         ``/spec``-advertised ``wire_versions`` support, falling back to
         v1 against servers that predate the columnar format.
+    metrics_registry:
+        Where the client's own instruments (request latency, retry
+        counters) live.  ``None`` creates a private registry; siblings
+        from :meth:`for_campaign` share their parent's.  Render with
+        :meth:`metrics_text`.
     """
 
     def __init__(
@@ -120,6 +129,7 @@ class ServiceClient:
         backoff_rng: Optional[random.Random] = None,
         campaign: Optional[str] = None,
         wire_version: Optional[int] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ):
         if (
             wire_version is not None
@@ -144,6 +154,28 @@ class ServiceClient:
         self._protocol: Optional[Protocol] = None
         self._fingerprint: Optional[str] = None
         self._spec_response: Optional[Dict[str, Any]] = None
+        self.metrics_registry = (
+            metrics_registry
+            if metrics_registry is not None
+            else MetricsRegistry()
+        )
+        self._request_seconds = self.metrics_registry.histogram(
+            "repro_client_request_seconds",
+            "Per-attempt HTTP round-trip latency, by endpoint.",
+            labels=("endpoint",),
+        )
+        self._responses = self.metrics_registry.counter(
+            "repro_client_responses_total",
+            "HTTP responses the client received, by endpoint and "
+            "status code.",
+            labels=("endpoint", "status"),
+        )
+        self._retries = self.metrics_registry.counter(
+            "repro_client_retries_total",
+            "Transport retries, by what triggered them "
+            "(connection_error, server_error, backpressure).",
+            labels=("reason",),
+        )
 
     # ------------------------------------------------------------------
     # Campaign binding
@@ -170,6 +202,7 @@ class ServiceClient:
             backoff_rng=self.backoff_rng,
             campaign=str(campaign),
             wire_version=self.wire_version,
+            metrics_registry=self.metrics_registry,
         )
 
     def _campaign_query(self) -> str:
@@ -205,6 +238,9 @@ class ServiceClient:
                 if body is not None
                 else None
             )
+        endpoint = path.partition("?")[0]
+        if endpoint.startswith("/campaigns/"):
+            endpoint = "/campaigns/seal"
         last_error: Optional[Exception] = None
         last_response: Optional[tuple] = None
         attempts = 0
@@ -215,6 +251,7 @@ class ServiceClient:
             connection = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
+            started = time.perf_counter()
             try:
                 connection.request(
                     method,
@@ -228,9 +265,21 @@ class ServiceClient:
                 raw = response.read()
             except (ConnectionError, TimeoutError, OSError) as exc:
                 last_error = exc
+                if attempt < self.retries:
+                    self._retries.labels(reason="connection_error").inc()
+                    _log.debug(
+                        "retrying after connection error",
+                        extra={"endpoint": endpoint, "attempt": attempts},
+                    )
                 continue
             finally:
                 connection.close()
+            self._request_seconds.labels(endpoint=endpoint).observe(
+                time.perf_counter() - started
+            )
+            self._responses.labels(
+                endpoint=endpoint, status=str(response.status)
+            ).inc()
             try:
                 payload = json.loads(raw) if raw else {}
             except json.JSONDecodeError as exc:
@@ -244,6 +293,8 @@ class ServiceClient:
                 # keys make resubmission safe), surface the last one.
                 last_error = None
                 last_response = (response.status, payload)
+                if attempt < self.retries:
+                    self._retries.labels(reason="server_error").inc()
                 continue
             if response.status == 429:
                 if payload.get("error") == "backpressure":
@@ -252,6 +303,8 @@ class ServiceClient:
                     # idempotency key makes this safe).
                     last_error = None
                     last_response = (response.status, payload)
+                    if attempt < self.retries:
+                        self._retries.labels(reason="backpressure").inc()
                     retry_after = payload.get(
                         "retry_after", response.getheader("Retry-After")
                     )
@@ -531,6 +584,28 @@ class ServiceClient:
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """This client's own instruments, rendered as Prometheus text
+        exposition (request latency, retry counters).  For the
+        *server's* metrics, scrape its ``GET /metrics``."""
+        return self.metrics_registry.render()
+
+    def server_metrics_text(self) -> str:
+        """Fetch the server's ``GET /metrics`` page (raw exposition
+        text; not retried — scraping is periodic by nature)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        if response.status != 200:
+            raise ServiceError(response.status, {"error": "metrics"})
+        return raw.decode("utf-8")
 
     def checkpoint(self) -> int:
         """Ask the server to snapshot now; returns the sequence number."""

@@ -29,6 +29,10 @@ import queue
 import threading
 from typing import Any, List, Optional, Tuple
 
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.service.sharding")
+
 
 class FlushToken:
     """Queue barrier: set when every earlier item has been absorbed."""
@@ -126,7 +130,17 @@ class ShardWorker:
                 self.absorbed_batches += 1
                 self.absorbed_reports += int(absorbed)
             except Exception:  # noqa: BLE001 - validated upstream; count
+                # Validation ran on the event loop, so this is a server
+                # bug, not client data — count it (healthz/metrics) and
+                # leave a trace with the stack.
                 self.errors += 1
+                _log.exception(
+                    "shard absorb failed",
+                    extra={
+                        "shard": self.index,
+                        "campaign": getattr(campaign, "fingerprint", None),
+                    },
+                )
             finally:
                 self.queue.task_done()
 

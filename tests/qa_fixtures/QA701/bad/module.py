@@ -1,0 +1,13 @@
+"""Library module that prints and grabs the root logger: all QA701."""
+
+import logging
+
+
+def absorb(batch):
+    print(f"absorbing {len(batch)} reports")
+    logging.basicConfig(level=logging.INFO)
+    return len(batch)
+
+
+def debug_dump(state):
+    print(state)

@@ -1,0 +1,6 @@
+"""``python -m`` target: exempt by name, prints freely."""
+
+
+def main():
+    print("repro.fixture: served")
+    return 0

@@ -1,0 +1,10 @@
+"""Clean library logging: named logger, no root configuration."""
+
+import logging
+
+log = logging.getLogger("repro.fixture.module")
+
+
+def absorb(batch):
+    log.info("absorbing", extra={"reports": len(batch)})
+    return len(batch)

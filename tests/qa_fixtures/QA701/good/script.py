@@ -1,0 +1,13 @@
+"""Guarded script: an entrypoint may print and configure logging."""
+
+import logging
+
+
+def main():
+    logging.basicConfig(level=logging.INFO)
+    print("repro.fixture: running")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

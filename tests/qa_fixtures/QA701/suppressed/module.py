@@ -1,0 +1,12 @@
+"""Prints excused through the escape hatch."""
+
+
+def legacy_same_line(batch):
+    print(len(batch))  # qa: allow[QA701]
+    return len(batch)
+
+
+def legacy_line_above(batch):
+    # qa: allow[QA701]
+    print(len(batch))
+    return len(batch)

@@ -20,7 +20,7 @@ from repro.qa.core import module_name_for
 FIXTURES = Path(__file__).resolve().parent / "qa_fixtures"
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-RULE_IDS = ["QA101", "QA201", "QA301", "QA401", "QA501", "QA601"]
+RULE_IDS = ["QA101", "QA201", "QA301", "QA401", "QA501", "QA601", "QA701"]
 
 
 def findings(path, rule_ids=None):
@@ -150,6 +150,27 @@ class TestExceptionHygiene:
 
     def test_narrow_pass_and_handled_blanket_are_fine(self):
         assert findings(FIXTURES / "QA601" / "good", ["QA601"]) == []
+
+
+class TestLoggingDiscipline:
+    def test_print_and_basicconfig_flagged(self):
+        found = findings(FIXTURES / "QA701" / "bad", ["QA701"])
+        assert len(found) == 3
+        joined = " ".join(v.message for v in found)
+        assert "print()" in joined
+        assert "basicConfig" in joined
+
+    def test_guarded_script_and_dunder_main_are_exempt(self):
+        # good/ holds a clean library module AND two entrypoint shapes
+        # (an `if __name__ == "__main__"` script, a __main__.py) that
+        # print and call basicConfig — exempt wholesale.
+        assert findings(FIXTURES / "QA701" / "good", ["QA701"]) == []
+
+    def test_good_tree_passes_every_rule(self):
+        assert findings(FIXTURES / "QA701" / "good") == []
+
+    def test_allow_comment_suppresses(self):
+        assert findings(FIXTURES / "QA701" / "suppressed") == []
 
 
 class TestModuleNames:
