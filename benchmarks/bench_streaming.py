@@ -1,0 +1,253 @@
+"""Streaming-path cost: windowed panes and memoized re-reports.
+
+Two questions, each answered against the live networked service:
+
+1. **What does windowing cost?**  The same pre-encoded report stream is
+   ingested twice — once into a plain all-time campaign, once into a
+   windowed campaign with per-round pane routing — and the sustained
+   rate is compared.  The pane ring buys sliding-window and decayed
+   estimates; the contract is that it costs **<= 15%** of plain ingest
+   throughput (asserted on full runs; smoke runs record the ratio).
+   Correctness rides along: the windowed campaign's sliding-window
+   estimate must be bitwise-equal to a fresh accumulator absorbing only
+   the in-window rounds' reports, and its all-time estimate must match
+   the plain campaign's.
+
+2. **What does an unchanged round cost?**  A memoizing fleet submits
+   the same values for two consecutive rounds.  Round 1 perturbs and
+   pays; round 2 replays cached reports — the asserted contract is
+   **zero** additional epsilon across the entire ledger and zero cache
+   misses, with the wall-clock ratio recorded (replay skips the
+   perturbation work, so it should not be slower).
+
+Results land in a JSON whose committed baseline is
+``benchmarks/results/streaming_baseline.json``; CI runs ``--smoke`` on
+every push and uploads the JSON as an artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_streaming.py
+      PYTHONPATH=src python benchmarks/bench_streaming.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.protocol import Protocol  # noqa: E402
+from repro.service import IngestionServer, ServiceClient  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "streaming_baseline.json"
+
+DOMAIN = 32
+EPSILON = 1.0
+ROUNDS = 5
+PANES = 4
+SEED = 2019
+
+#: Windowed ingest may cost at most this fraction over plain ingest.
+MAX_WINDOW_OVERHEAD = 1.15
+
+
+def _round_batches(protocol, n, batch_size):
+    """Per-round pre-encoded (reports, users) chunks, deterministic."""
+    rng = np.random.default_rng(0)
+    encoder = protocol.client()
+    rounds = []
+    for r in range(ROUNDS):
+        values = rng.integers(0, DOMAIN, n)
+        chunks = []
+        for i, lo in enumerate(range(0, n, batch_size)):
+            chunk = values[lo : lo + batch_size]
+            chunks.append(
+                (
+                    encoder.encode_batch(
+                        chunk, np.random.default_rng(SEED + 100 * r + i)
+                    ),
+                    [f"r{r}-u{lo + j}" for j in range(len(chunk))],
+                )
+            )
+        rounds.append(chunks)
+    return rounds
+
+
+def _ingest(protocol, rounds, window=None):
+    """Time the full submission path; return (seconds, client, server)."""
+    server = IngestionServer(protocol, window=window).run_in_thread()
+    client = ServiceClient("127.0.0.1", server.port)
+    client.fetch_spec()  # outside the timed window
+    start = time.perf_counter()
+    for r, chunks in enumerate(rounds):
+        round_ = r if window is not None else None
+        for reports, users in chunks:
+            client.submit_reports(reports, users, round=round_)
+    elapsed = time.perf_counter() - start
+    return elapsed, client, server
+
+
+def bench_windowed_overhead(n, batch_size, smoke) -> dict:
+    protocol = Protocol.frequency(EPSILON, domain=DOMAIN)
+    rounds = _round_batches(protocol, n, batch_size)
+    total = n * ROUNDS
+
+    plain_s, plain_client, plain_server = _ingest(protocol, rounds)
+    windowed_s, windowed_client, windowed_server = _ingest(
+        protocol, rounds, window={"panes": PANES}
+    )
+    try:
+        # Correctness before speed: the sliding window must be bitwise
+        # what recomputing from only the in-window rounds gives...
+        in_window = protocol.server()
+        for chunks in rounds[ROUNDS - PANES :]:
+            for reports, _ in chunks:
+                in_window.absorb(reports)
+        served = np.asarray(windowed_client.estimate(window=PANES))
+        if not np.array_equal(served, np.asarray(in_window.estimate())):
+            raise AssertionError(
+                "windowed estimate diverged from recomputation over "
+                "in-window reports"
+            )
+        # ...and evicted panes must still count toward all-time.
+        all_time = np.asarray(windowed_client.estimate())
+        if not np.array_equal(all_time, np.asarray(plain_client.estimate())):
+            raise AssertionError(
+                "windowed all-time estimate diverged from the plain "
+                "campaign's"
+            )
+    finally:
+        plain_server.stop()
+        windowed_server.stop()
+
+    overhead = windowed_s / plain_s
+    if not smoke and overhead > MAX_WINDOW_OVERHEAD:
+        raise AssertionError(
+            f"windowed ingest overhead {overhead:.3f}x exceeds the "
+            f"{MAX_WINDOW_OVERHEAD:.2f}x contract"
+        )
+    print(
+        f"{'windowed-ingest':>16}: {total / plain_s:>10.0f} reports/s "
+        f"plain, {total / windowed_s:>10.0f} reports/s windowed "
+        f"[{overhead:.3f}x overhead, bitwise ok]"
+    )
+    return {
+        "rounds": ROUNDS,
+        "panes": PANES,
+        "total_reports": total,
+        "bitwise_equal_to_recomputation": True,
+        "plain": {
+            "seconds": plain_s,
+            "reports_per_second": total / plain_s,
+        },
+        "windowed": {
+            "seconds": windowed_s,
+            "reports_per_second": total / windowed_s,
+            "overhead_vs_plain": overhead,
+            "max_overhead_contract": MAX_WINDOW_OVERHEAD,
+        },
+    }
+
+
+def bench_memoization(n, batch_size) -> dict:
+    protocol = Protocol.frequency(EPSILON, domain=DOMAIN)
+    server = IngestionServer(
+        protocol,
+        lifetime_epsilon=EPSILON * (ROUNDS + 1),
+        window={"panes": PANES},
+    ).run_in_thread()
+    try:
+        client = ServiceClient("127.0.0.1", server.port, memoize=True)
+        client.fetch_spec()
+        values = np.random.default_rng(7).integers(0, DOMAIN, n)
+        users = [f"u{i}" for i in range(n)]
+        chunks = [
+            (values[lo : lo + batch_size], users[lo : lo + batch_size])
+            for lo in range(0, n, batch_size)
+        ]
+
+        def _round(r):
+            start = time.perf_counter()
+            for i, (chunk, chunk_users) in enumerate(chunks):
+                client.submit(
+                    chunk, users=chunk_users, rng=SEED + 10 * r + i, round=r
+                )
+            return time.perf_counter() - start
+
+        round1_s = _round(0)
+        spent_round1 = sum(server.ledger.spent(u) for u in users)
+        round2_s = _round(1)
+        spent_round2 = sum(server.ledger.spent(u) for u in users)
+
+        epsilon_delta = spent_round2 - spent_round1
+        if epsilon_delta != 0.0:
+            raise AssertionError(
+                f"memoized round 2 charged {epsilon_delta:g} epsilon; "
+                f"the contract is exactly zero"
+            )
+        if client.encoder.misses != n or client.encoder.hits != n:
+            raise AssertionError(
+                f"expected {n} misses then {n} hits, got "
+                f"{client.encoder.misses}/{client.encoder.hits}"
+            )
+    finally:
+        server.stop()
+
+    print(
+        f"{'memoized-rounds':>16}: {n / round1_s:>10.0f} reports/s fresh, "
+        f"{n / round2_s:>10.0f} reports/s replayed "
+        f"[round-2 epsilon cost: 0, {round2_s / round1_s:.3f}x time]"
+    )
+    return {
+        "n": n,
+        "round1_fresh": {
+            "seconds": round1_s,
+            "reports_per_second": n / round1_s,
+            "epsilon_charged": spent_round1,
+        },
+        "round2_replayed": {
+            "seconds": round2_s,
+            "reports_per_second": n / round2_s,
+            "epsilon_charged_delta": epsilon_delta,
+            "time_vs_round1": round2_s / round1_s,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small n for CI (correctness + trajectory, not peak rate; "
+        "the overhead contract is recorded but not asserted)",
+    )
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (4_000 if args.smoke else 40_000)
+    batch_size = min(2_000, n)
+    results = {
+        "benchmark": "streaming",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "batch_size": batch_size,
+        "windowed_overhead": bench_windowed_overhead(
+            n, batch_size, args.smoke
+        ),
+        "memoization": bench_memoization(n, batch_size),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ from repro.protocol.accumulators import ServerAccumulator
 from repro.protocol.facade import Protocol
 from repro.protocol.reports import ColumnBlock
 from repro.protocol.spec import ProtocolSpec
+from repro.stream.heavy import HeavyHitterTracker
+from repro.stream.windows import WindowConfig, WindowedAccumulator
 
 _log = get_logger("repro.campaigns.registry")
 
@@ -57,6 +59,15 @@ class Campaign:
         classic single-accumulator campaign; the sharded server passes
         its worker count and each worker owns one index of
         :attr:`accumulators`.
+    window:
+        Optional :class:`~repro.stream.windows.WindowConfig` (or its
+        dict form).  When set, every shard accumulator is a
+        :class:`~repro.stream.windows.WindowedAccumulator` over the
+        protocol's accumulator factory, and the campaign answers
+        ``GET /estimate?window=...`` queries.  The window config lives
+        *outside* the :class:`ProtocolSpec` on purpose: it changes what
+        the server can answer, not what users transmit, so it must not
+        change the campaign fingerprint that clients validate against.
     """
 
     def __init__(
@@ -64,6 +75,7 @@ class Campaign:
         protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
         default: bool = False,
         shards: int = 1,
+        window: Optional[Union[WindowConfig, Dict[str, Any]]] = None,
     ):
         from repro.service.wire import spec_fingerprint
 
@@ -73,13 +85,17 @@ class Campaign:
             self.protocol = protocol_or_spec
         else:
             self.protocol = Protocol.from_spec(protocol_or_spec)
+        if window is not None and not isinstance(window, WindowConfig):
+            window = WindowConfig.from_dict(window)
+        self.window = window
+        self.heavy: Optional[HeavyHitterTracker] = None
         self.spec = self.protocol.spec
         self.fingerprint = spec_fingerprint(self.spec)
         self.default = bool(default)
         self.state = CampaignState.OPEN
         self.shards = int(shards)
         self.accumulators: List[ServerAccumulator] = [
-            self.protocol.server() for _ in range(self.shards)
+            self._new_accumulator() for _ in range(self.shards)
         ]
         self.seen_keys: set = set()
         self.batches_accepted = 0
@@ -92,6 +108,18 @@ class Campaign:
         self.dirty = True
 
     # ------------------------------------------------------------------
+    def _new_accumulator(self) -> ServerAccumulator:
+        """A fresh accumulator of this campaign's shape: windowed when
+        the campaign has a window config, plain otherwise."""
+        if self.window is not None:
+            return self.window.build(self.protocol.server)
+        return self.protocol.server()
+
+    @property
+    def windowed(self) -> bool:
+        """Whether this campaign answers ``?window=`` queries."""
+        return self.window is not None
+
     @property
     def accumulator(self) -> ServerAccumulator:
         """The single-shard accumulator (shard 0).
@@ -121,12 +149,25 @@ class Campaign:
         else:
             self.accumulators[0].validate_reports(batch)
 
-    def absorb_shard(self, index: int, batch: Any) -> int:
+    def absorb_shard(
+        self, index: int, batch: Any, round_: Optional[int] = None
+    ) -> int:
         """Fold one validated batch into shard ``index``; returns the
-        number of reports absorbed (the shard workers' counter)."""
+        number of reports absorbed (the shard workers' counter).
+
+        ``round_`` routes the batch into that round's pane on windowed
+        campaigns (round-less batches land in the current pane); plain
+        campaigns ignore it — the round is a windowing concern, not an
+        accumulation one.
+        """
         acc = self.accumulators[index]
         before = acc.count
-        if isinstance(batch, ColumnBlock):
+        if isinstance(acc, WindowedAccumulator) and round_ is not None:
+            if isinstance(batch, ColumnBlock):
+                acc.absorb_columns_round(round_, batch)
+            else:
+                acc.absorb_round(round_, batch)
+        elif isinstance(batch, ColumnBlock):
             acc.absorb_columns(batch)
         else:
             acc.absorb(batch)
@@ -143,10 +184,57 @@ class Campaign:
         """
         if self.shards == 1:
             return self.accumulators[0]
-        merged = self.protocol.server()
+        merged = self._new_accumulator()
         for acc in self.accumulators:
             merged.merge(acc)
         return merged
+
+    def merged_window(self) -> WindowedAccumulator:
+        """The campaign-wide *windowed* view; raises on plain campaigns."""
+        if self.window is None:
+            raise ValueError(
+                f"campaign {self.fingerprint[:12]}... has no window "
+                f"config; only all-time estimates are available"
+            )
+        merged = self.merged_accumulator()
+        assert isinstance(merged, WindowedAccumulator)
+        return merged
+
+    def heavy_tracker(self, k: int) -> HeavyHitterTracker:
+        """The campaign's churn tracker, created on first use."""
+        if self.heavy is None:
+            self.heavy = HeavyHitterTracker(k=k)
+            self.dirty = True
+        return self.heavy
+
+    # ------------------------------------------------------------------
+    # Live window introspection (cheap enough for metric gauges:
+    # reads per-shard pane counters, never merges accumulators)
+    # ------------------------------------------------------------------
+    def window_latest_round(self) -> int:
+        """Highest round absorbed across shards (-1 before any data)."""
+        latest = -1
+        for acc in self.accumulators:
+            if isinstance(acc, WindowedAccumulator):
+                if acc.latest_round is not None:
+                    latest = max(latest, acc.latest_round)
+        return latest
+
+    def window_live_panes(self) -> int:
+        """Distinct live rounds across shards."""
+        rounds: set = set()
+        for acc in self.accumulators:
+            if isinstance(acc, WindowedAccumulator):
+                rounds.update(acc.live_rounds())
+        return len(rounds)
+
+    def window_reports(self) -> int:
+        """Reports currently held in live panes, across shards."""
+        return sum(
+            sum(acc.pane_counts().values())
+            for acc in self.accumulators
+            if isinstance(acc, WindowedAccumulator)
+        )
 
     @property
     def accepts_reports(self) -> bool:
@@ -203,13 +291,16 @@ class Campaign:
             "reports": self.reports,
             "batches_accepted": self.batches_accepted,
             "duplicates": self.duplicates,
+            "window": (
+                self.window.to_dict() if self.window is not None else None
+            ),
         }
 
     def manifest_entry(self) -> Dict[str, Any]:
         """Metadata recorded in the root snapshot manifest (everything
         except the accumulator payload, which lives in this campaign's
         own snapshot namespace)."""
-        return {
+        entry: Dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "state": self.state.value,
             "default": self.default,
@@ -217,6 +308,11 @@ class Campaign:
             "duplicates": self.duplicates,
             "seq": self.saved_seq,
         }
+        if self.window is not None:
+            entry["window"] = self.window.to_dict()
+        if self.heavy is not None:
+            entry["heavy"] = self.heavy.to_dict()
+        return entry
 
     def snapshot_payload(self) -> Dict[str, Any]:
         """Wire-encoded accumulator state + idempotency keys.
@@ -280,6 +376,8 @@ class Campaign:
         self.default = bool(manifest.get("default", self.default))
         self.batches_accepted = int(manifest["batches_accepted"])
         self.duplicates = int(manifest.get("duplicates", 0))
+        if manifest.get("heavy") is not None:
+            self.heavy = HeavyHitterTracker.from_dict(manifest["heavy"])
         self.saved_seq = manifest.get("seq")
         self.dirty = False
         return self
@@ -312,18 +410,35 @@ class CampaignRegistry:
         self,
         protocol_or_spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
         default: bool = False,
+        window: Optional[Union[WindowConfig, Dict[str, Any]]] = None,
     ) -> tuple:
         """Add a campaign; returns ``(campaign, created)``.
 
         Registration is idempotent by fingerprint: re-registering an
         existing spec returns the live campaign untouched (its
-        accumulated reports, state and keys are kept).
+        accumulated reports, state and keys are kept).  A re-register
+        may omit the window config (window-unaware callers never strip
+        an existing window) but must not *contradict* it — the window
+        shapes the accumulator state, so changing it mid-flight would
+        corrupt snapshots.
         """
         campaign = Campaign(
-            protocol_or_spec, default=default, shards=self.shards
+            protocol_or_spec,
+            default=default,
+            shards=self.shards,
+            window=window,
         )
         existing = self._campaigns.get(campaign.fingerprint)
         if existing is not None:
+            if (
+                campaign.window is not None
+                and existing.window != campaign.window
+            ):
+                raise ValueError(
+                    f"campaign {existing.fingerprint[:12]}... is already "
+                    f"registered with window={existing.window}; "
+                    f"cannot re-register with window={campaign.window}"
+                )
             if default and self._default is None:
                 existing.default = True
                 self._default = existing.fingerprint

@@ -25,10 +25,16 @@ from typing import Iterator, Tuple
 from repro.qa.core import Project, Rule, Violation
 
 #: Modules that run on the aggregator and must stay report-only.
+#: The streaming window/heavy-hitter machinery aggregates privatized
+#: panes server-side, so it is held to the same bar; the *memoization*
+#: cache (repro.stream.memo) is deliberately absent — it wraps client
+#: encoders and runs on the user's device.
 SERVER_TIER: Tuple[str, ...] = (
     "repro.service.server",
     "repro.campaigns",
     "repro.protocol.accumulators",
+    "repro.stream.windows",
+    "repro.stream.heavy",
 )
 
 #: Client-side raw-value machinery: encoders that perturb true values,

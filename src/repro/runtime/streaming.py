@@ -25,13 +25,14 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Deque, NoReturn, Optional
+from typing import Any, Callable, Deque, Dict, NoReturn, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, null_registry
 from repro.protocol.accumulators import ServerAccumulator
 from repro.runtime.runner import _resolve_encoder
+from repro.stream.windows import WindowConfig, WindowedAccumulator
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -67,6 +68,14 @@ class StreamingRunner:
         runner gauges/histograms on (pending depth, batches absorbed,
         encode+absorb latency).  ``None`` means no instrumentation —
         the runner is also used in tight benchmark loops.
+    window:
+        Optional :class:`~repro.stream.windows.WindowConfig` (or its
+        dict form).  When set, the runner accumulates into a
+        :class:`~repro.stream.windows.WindowedAccumulator` and
+        :meth:`submit` accepts a ``round`` that buckets the batch into
+        that round's pane; :meth:`finish` then returns the windowed
+        accumulator (sliding-window and decayed estimates included).
+        Round-less submissions land in the current (latest) pane.
 
     Error handling: if a background encode raises, the exception
     propagates exactly once — out of whichever :meth:`submit` or
@@ -86,6 +95,7 @@ class StreamingRunner:
         checkpoint_every: Optional[int] = None,
         on_checkpoint: Optional[Callable] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        window: Optional[Union[WindowConfig, Dict[str, Any]]] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(
@@ -105,14 +115,21 @@ class StreamingRunner:
                     "checkpoint_every requires an on_checkpoint callback"
                 )
         self._encoder = _resolve_encoder(protocol_or_encoder)
-        self._accumulator = self._encoder.new_accumulator()
+        if window is not None and not isinstance(window, WindowConfig):
+            window = WindowConfig.from_dict(window)
+        self.window: Optional[WindowConfig] = window
+        self._accumulator: ServerAccumulator = (
+            window.build(self._encoder.new_accumulator)
+            if window is not None
+            else self._encoder.new_accumulator()
+        )
         self._root = np.random.SeedSequence(seed)
         self.max_pending = int(max_pending)
         workers = max_pending if max_workers is None else max_workers
         self._pool = (
             ThreadPoolExecutor(max_workers=workers) if workers else None
         )
-        self._pending: Deque[Any] = deque()
+        self._pending: Deque[Tuple[Any, Optional[int]]] = deque()
         self._batches = 0
         self._absorbed = 0
         self._closed = False
@@ -160,7 +177,7 @@ class StreamingRunner:
         """Tear down after a failed encode; re-raise the error once."""
         self._failure = exc
         self._closed = True
-        for future in self._pending:
+        for future, _ in self._pending:
             future.cancel()
         self._pending.clear()
         if self._pool is not None:
@@ -177,34 +194,59 @@ class StreamingRunner:
         if self._closed:
             raise RuntimeError("cannot submit to a finished StreamingRunner")
 
+    def _absorb(self, reports: Any, round_: Optional[int]) -> None:
+        with self._absorb_seconds.time():
+            if round_ is not None:
+                assert isinstance(self._accumulator, WindowedAccumulator)
+                self._accumulator.absorb_round(round_, reports)
+            else:
+                self._accumulator.absorb(reports)
+
     def _absorb_oldest(self) -> None:
-        future = self._pending.popleft()
+        future, round_ = self._pending.popleft()
         try:
             reports = future.result()
         except BaseException as exc:  # noqa: BLE001 - re-raised in _fail
             self._fail(exc)
-        with self._absorb_seconds.time():
-            self._accumulator.absorb(reports)
+        self._absorb(reports, round_)
         self._absorbed_one()
 
-    def submit(self, values: Any, rng: RngLike = None) -> "StreamingRunner":
-        """Queue one arriving batch of raw values for encode + absorb."""
+    def submit(
+        self,
+        values: Any,
+        rng: RngLike = None,
+        round: Optional[int] = None,
+    ) -> "StreamingRunner":
+        """Queue one arriving batch of raw values for encode + absorb.
+
+        ``round`` (windowed runners only) buckets the batch into that
+        round's pane; absorption order within a pane is submission
+        order, so windowed runs stay reproducible too.
+        """
         self._check_usable()
+        if round is not None and self.window is None:
+            raise ValueError(
+                "round routing needs a windowed runner — construct "
+                "StreamingRunner(..., window=WindowConfig(...))"
+            )
         gen = self._next_rng() if rng is None else ensure_rng(rng)
         self._batches += 1
+        round_ = int(round) if round is not None else None
         if self._pool is None:
             try:
                 reports = self._encoder.encode_batch(values, gen)
             except BaseException as exc:  # noqa: BLE001 - re-raised
                 self._fail(exc)  # same close-after-failure contract
-            with self._absorb_seconds.time():
-                self._accumulator.absorb(reports)
+            self._absorb(reports, round_)
             self._absorbed_one()
             return self
         while len(self._pending) >= self.max_pending:
             self._absorb_oldest()
         self._pending.append(
-            self._pool.submit(self._encoder.encode_batch, values, gen)
+            (
+                self._pool.submit(self._encoder.encode_batch, values, gen),
+                round_,
+            )
         )
         return self
 

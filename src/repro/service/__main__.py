@@ -43,6 +43,7 @@ from repro.obs.lifecycle import SignalDrain
 from repro.obs.logging import add_logging_arguments, configure_logging
 from repro.service.server import IngestionServer
 from repro.service.store import SnapshotStore
+from repro.stream.windows import WindowConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard queue bound in batches; a full queue answers "
         "429 with Retry-After (backpressure)",
     )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="PANES",
+        help="make every campaign windowed with a ring of PANES "
+        "per-round pane accumulators; enables "
+        "GET /estimate?window=... and GET /heavy-hitters",
+    )
+    parser.add_argument(
+        "--pane-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock seconds one pane (round) represents, so "
+        "?window=5m style duration queries resolve to pane counts "
+        "(needs --window)",
+    )
+    parser.add_argument(
+        "--decay",
+        type=float,
+        default=None,
+        metavar="GAMMA",
+        help="exponential decay per pane of age, in (0, 1]; the "
+        "default estimate becomes the decayed view "
+        "(needs --window)",
+    )
     add_logging_arguments(parser)
     return parser
 
@@ -116,6 +144,20 @@ def main(argv=None) -> int:
     def _load(path):
         with open(path, encoding="utf-8") as handle:
             return json.load(handle)
+
+    if args.window is None and (
+        args.pane_seconds is not None or args.decay is not None
+    ):
+        build_parser().error("--pane-seconds/--decay require --window")
+    window = (
+        WindowConfig(
+            panes=args.window,
+            pane_seconds=args.pane_seconds,
+            decay=args.decay,
+        )
+        if args.window is not None
+        else None
+    )
 
     default_spec = _load(args.spec) if args.spec is not None else None
     campaign_specs = [_load(path) for path in args.campaigns]
@@ -136,6 +178,7 @@ def main(argv=None) -> int:
         campaigns=campaign_specs,
         shards=args.shards,
         shard_queue_depth=args.shard_queue_depth,
+        window=window,
     )
     drained = False
 
@@ -154,13 +197,29 @@ def main(argv=None) -> int:
             if default is not None
             else f"{len(server.registry)} campaigns, no default"
         )
+        window_note = (
+            f", window: {server.window.panes} panes"
+            + (
+                f" x {server.window.pane_seconds:g}s"
+                if server.window.pane_seconds is not None
+                else ""
+            )
+            + (
+                f" decay {server.window.decay:g}"
+                if server.window.decay is not None
+                else ""
+            )
+            if server.window is not None
+            else ""
+        )
         print(
             f"repro.service: {headline} on "
             f"http://{server.host}:{server.port} "
             f"(lifetime eps {server.ledger.lifetime_epsilon:g}, "
             f"shards: {server.shards}, "
             f"checkpoints: "
-            f"{store.directory if store else 'disabled'})",
+            f"{store.directory if store else 'disabled'}"
+            f"{window_note})",
             flush=True,
         )
         for campaign in server.registry:

@@ -42,6 +42,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.protocol.facade import Protocol
 from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
+from repro.stream.memo import MemoizedEncoder
 from repro.utils.rng import RngLike
 
 _log = get_logger("repro.service.client")
@@ -116,6 +117,14 @@ class ServiceClient:
         counters) live.  ``None`` creates a private registry; siblings
         from :meth:`for_campaign` share their parent's.  Render with
         :meth:`metrics_text`.
+    memoize:
+        Enable longitudinal memoization
+        (:class:`~repro.stream.memo.MemoizedEncoder`): each user's
+        perturbed report is cached per value, so re-submitting an
+        unchanged value replays the *same* report bytes and the batch
+        marks that user as not-fresh — the server charges zero
+        additional epsilon for them.  The cache lives for this client
+        instance; siblings from :meth:`for_campaign` get their own.
     """
 
     def __init__(
@@ -130,6 +139,7 @@ class ServiceClient:
         campaign: Optional[str] = None,
         wire_version: Optional[int] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        memoize: bool = False,
     ):
         if (
             wire_version is not None
@@ -150,6 +160,8 @@ class ServiceClient:
         )
         self.campaign = campaign
         self.wire_version = wire_version
+        self.memoize = bool(memoize)
+        self._memo: Optional[MemoizedEncoder] = None
         self._negotiated: Optional[int] = None
         self._protocol: Optional[Protocol] = None
         self._fingerprint: Optional[str] = None
@@ -203,6 +215,7 @@ class ServiceClient:
             campaign=str(campaign),
             wire_version=self.wire_version,
             metrics_registry=self.metrics_registry,
+            memoize=self.memoize,
         )
 
     def _campaign_query(self) -> str:
@@ -412,20 +425,28 @@ class ServiceClient:
     # Campaign management
     # ------------------------------------------------------------------
     def register_campaign(
-        self, spec: Union[Protocol, ProtocolSpec, Dict[str, Any]]
+        self,
+        spec: Union[Protocol, ProtocolSpec, Dict[str, Any]],
+        window: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """``POST /campaigns`` — register a collection campaign.
 
         Idempotent by content: re-registering the same spec returns the
         live campaign (``created: false``).  Returns the server's
         ``{campaign, state, epsilon, created}`` response; pass
-        ``response["campaign"]`` to :meth:`for_campaign`.
+        ``response["campaign"]`` to :meth:`for_campaign`.  ``window``
+        (a ``WindowConfig.to_dict()``-shaped object) makes the campaign
+        windowed; re-registering with a *conflicting* window is HTTP
+        409, omitting it keeps the existing one.
         """
         if isinstance(spec, Protocol):
             spec = spec.spec
         if isinstance(spec, ProtocolSpec):
             spec = spec.to_dict()
-        return self._request("POST", "/campaigns", {"spec": spec})
+        body: Dict[str, Any] = {"spec": spec}
+        if window is not None:
+            body["window"] = window
+        return self._request("POST", "/campaigns", body)
 
     def campaigns(self) -> List[Dict[str, Any]]:
         """``GET /campaigns`` — every campaign and its state."""
@@ -448,20 +469,40 @@ class ServiceClient:
         """Perturb raw values locally into transmit-ready reports."""
         return self.protocol.client().encode_batch(values, rng)
 
+    @property
+    def encoder(self) -> MemoizedEncoder:
+        """The persistent memoizing encoder (``memoize=True`` only)."""
+        if not self.memoize:
+            raise RuntimeError(
+                "this client was constructed with memoize=False"
+            )
+        if self._memo is None:
+            self._memo = MemoizedEncoder(self.protocol.client())
+        return self._memo
+
     def submit(
         self,
         values,
         users: Sequence[str],
         rng: RngLike = None,
         idempotency_key: Optional[str] = None,
+        round: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Encode locally and submit one batch for ``users``.
 
         Raw ``values`` never leave this process; only the perturbed
-        reports are serialized onto the wire.
+        reports are serialized onto the wire.  With ``memoize=True``
+        unchanged values replay the cached report and the batch's
+        ``fresh`` vector tells the server to charge only the users
+        whose reports were newly perturbed.  ``round`` buckets the
+        batch into the campaign's window pane for that round.
         """
+        if self.memoize:
+            reports, fresh = self.encoder.encode_users(values, users, rng)
+        else:
+            reports, fresh = self.encode(values, rng), None
         return self.submit_reports(
-            self.encode(values, rng), users, idempotency_key
+            reports, users, idempotency_key, round=round, fresh=fresh
         )
 
     def submit_reports(
@@ -469,6 +510,8 @@ class ServiceClient:
         reports,
         users: Sequence[str],
         idempotency_key: Optional[str] = None,
+        round: Optional[int] = None,
+        fresh: Optional[Sequence[bool]] = None,
     ) -> Dict[str, Any]:
         """Submit already-encoded reports (``POST /report``).
 
@@ -476,18 +519,29 @@ class ServiceClient:
         columnar arrays (:func:`repro.service.wire.pack_columns`), v1
         sends the classic JSON envelope.  Either way the batch carries
         the same fingerprint, users and idempotency key and lands in
-        the same server-side accumulator, bitwise.
+        the same server-side accumulator, bitwise.  The streaming keys
+        (``round``, ``fresh``) ride along only when given — a
+        round-less submission is byte-identical to a pre-streaming
+        SDK's.
         """
+        fresh_list = (
+            [bool(f) for f in fresh] if fresh is not None else None
+        )
+        round_int = int(round) if round is not None else None
         if self.negotiated_wire_version == wire.WIRE_VERSION_COLUMNAR:
             block = wire.reports_to_columns(reports)
             if idempotency_key is None:
-                idempotency_key = self._derive_columnar_key(block, users)
+                idempotency_key = self._derive_columnar_key(
+                    block, users, round_int, fresh_list
+                )
             frame = wire.pack_columns(
                 block,
                 self.fingerprint,
                 users=[str(u) for u in users],
                 idempotency_key=idempotency_key,
                 campaign=self.campaign,
+                round=round_int,
+                fresh=fresh_list,
             )
             return self._request(
                 "POST",
@@ -497,20 +551,49 @@ class ServiceClient:
             )
         encoded = wire.encode_reports(reports)
         if idempotency_key is None:
-            idempotency_key = self._derive_key(encoded, users)
+            idempotency_key = self._derive_key(
+                encoded, users, round_int, fresh_list
+            )
+        payload: Dict[str, Any] = {
+            "users": [str(u) for u in users],
+            "idempotency_key": idempotency_key,
+            "reports": encoded,
+        }
+        if round_int is not None:
+            payload["round"] = round_int
+        if fresh_list is not None:
+            payload["fresh"] = fresh_list
         envelope = wire.pack(
-            {
-                "users": [str(u) for u in users],
-                "idempotency_key": idempotency_key,
-                "reports": encoded,
-            },
+            payload,
             self.fingerprint,
             campaign=self.campaign,
         )
         return self._request("POST", "/report", envelope)
 
     @staticmethod
-    def _derive_key(encoded_reports: Dict[str, Any], users) -> str:
+    def _streaming_key_suffix(
+        digest, round_: Optional[int], fresh: Optional[List[bool]]
+    ) -> None:
+        """Fold the streaming keys into an idempotency digest.
+
+        Only when present — a round-less batch hashes to exactly what a
+        pre-streaming SDK derived, so mixed fleets agree on duplicate
+        detection.  A memoized batch resubmitted into a *different*
+        round is deliberately a distinct key: it is a new pane's worth
+        of (replayed, zero-cost) evidence, not a duplicate.
+        """
+        if round_ is not None:
+            digest.update(f"round:{round_}".encode("ascii"))
+        if fresh is not None:
+            digest.update(json.dumps(fresh).encode("ascii"))
+
+    @staticmethod
+    def _derive_key(
+        encoded_reports: Dict[str, Any],
+        users,
+        round_: Optional[int] = None,
+        fresh: Optional[List[bool]] = None,
+    ) -> str:
         """Deterministic idempotency key from the batch content.
 
         Retrying the same encoded batch reuses the same key even across
@@ -522,10 +605,16 @@ class ServiceClient:
             json.dumps(encoded_reports, sort_keys=True).encode("utf-8")
         )
         digest.update(json.dumps([str(u) for u in users]).encode("utf-8"))
+        ServiceClient._streaming_key_suffix(digest, round_, fresh)
         return digest.hexdigest()
 
     @staticmethod
-    def _derive_columnar_key(block, users) -> str:
+    def _derive_columnar_key(
+        block,
+        users,
+        round_: Optional[int] = None,
+        fresh: Optional[List[bool]] = None,
+    ) -> str:
         """Deterministic idempotency key for a columnar batch.
 
         Hashes the block's structure (kind, n, meta, per-column
@@ -557,22 +646,51 @@ class ServiceClient:
             arr = np.ascontiguousarray(block.columns[name])
             digest.update(arr.tobytes())
         digest.update(json.dumps([str(u) for u in users]).encode("utf-8"))
+        ServiceClient._streaming_key_suffix(digest, round_, fresh)
         return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def estimate(self):
-        """Current server-side estimate, decoded to native objects."""
-        return self.estimate_info()["estimate"]
+    def _query_path(self, path: str, **params: Any) -> str:
+        pairs = []
+        if self.campaign is not None:
+            pairs.append(("campaign", self.campaign))
+        pairs.extend(
+            (k, str(v)) for k, v in params.items() if v is not None
+        )
+        if not pairs:
+            return path
+        return path + "?" + "&".join(f"{k}={v}" for k, v in pairs)
 
-    def estimate_info(self) -> Dict[str, Any]:
+    def estimate(
+        self,
+        window: Optional[Union[int, str]] = None,
+        decay: Optional[float] = None,
+    ):
+        """Current server-side estimate, decoded to native objects."""
+        return self.estimate_info(window=window, decay=decay)["estimate"]
+
+    def estimate_info(
+        self,
+        window: Optional[Union[int, str]] = None,
+        decay: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Estimate plus its provenance: ``{estimate, reports, state,
         final}``.  ``final`` is False while the campaign is still open
         (more reports may arrive); serving an estimate from a sealed
-        campaign finalizes it (state becomes ``estimated``)."""
+        campaign finalizes it (state becomes ``estimated``).
+
+        ``window`` (a pane count like ``4`` or a duration like
+        ``"5m"``) restricts the estimate to the campaign's most recent
+        panes; ``decay`` asks for the exponentially-decayed view.
+        Windowed queries never finalize the campaign.
+        """
         payload = wire.unpack(
-            self._request("GET", "/estimate" + self._campaign_query()),
+            self._request(
+                "GET",
+                self._query_path("/estimate", window=window, decay=decay),
+            ),
             self.fingerprint,
         )
         return {
@@ -580,7 +698,21 @@ class ServiceClient:
             "reports": payload.get("reports"),
             "state": payload.get("state"),
             "final": payload.get("final"),
+            "window": payload.get("window"),
         }
+
+    def heavy_hitters(
+        self,
+        k: Optional[int] = None,
+        window: Optional[Union[int, str]] = None,
+    ) -> Dict[str, Any]:
+        """``GET /heavy-hitters`` — live top-k + churn vs the previous
+        round, for frequency-shaped campaigns.  Returns the server's
+        ``{round, k, indices, frequencies, entered, exited, ...}``."""
+        return self._request(
+            "GET",
+            self._query_path("/heavy-hitters", k=k, window=window),
+        )
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")

@@ -27,10 +27,25 @@ Endpoints (all JSON):
 ``POST /campaigns``      register a campaign from a ``{"spec": ...}``
 ``POST /campaigns/<fp>/seal``  close a campaign to ingestion
 ``GET  /spec``           spec + fingerprint (``?campaign=<fp>``)
-``GET  /estimate``       current estimate (``?campaign=<fp>``)
+``GET  /estimate``       current estimate (``?campaign=<fp>``); windowed
+                         campaigns also take ``?window=<panes|duration>``
+                         and ``?decay=<gamma>`` for sliding/decayed views
+``GET  /heavy-hitters``  live top-k + churn for frequency campaigns
+                         (``?campaign=<fp>&k=<n>[&window=...]``)
 ``POST /report``         enveloped report batch (batch, idempotent)
 ``POST /checkpoint``     force a snapshot now; returns its sequence
 ======================  ================================================
+
+Streaming: a campaign constructed (or registered) with a
+:class:`~repro.stream.windows.WindowConfig` buckets reports by the
+``round`` their envelope carries into ring-buffer panes (see
+:mod:`repro.stream.windows`), enabling sliding-window and
+exponentially-decayed estimates without giving up the exact all-time
+answer.  Envelopes may also carry a per-user ``fresh`` vector from the
+client-side :class:`~repro.stream.memo.MemoizedEncoder`: users replaying
+a memoized report are charged **zero** additional epsilon in the
+cross-campaign ledger.  Both keys are optional on both wire versions —
+round-less, window-unaware v1 clients keep working unchanged.
 
 Campaign routing: a report envelope may carry a ``campaign``
 fingerprint; without one it routes to the *default* campaign (the one
@@ -89,6 +104,7 @@ from repro.protocol.spec import ProtocolSpec
 from repro.service import wire
 from repro.service.sharding import ShardRing, ShardWorker
 from repro.service.store import SnapshotStore
+from repro.stream.windows import WindowConfig
 
 _log = get_logger("repro.service.server")
 
@@ -123,6 +139,7 @@ _KNOWN_ENDPOINTS = {
     "/metrics",
     "/spec",
     "/estimate",
+    "/heavy-hitters",
     "/campaigns",
     "/report",
     "/checkpoint",
@@ -166,9 +183,10 @@ class ServerMetrics:
         # -- state (always live; healthz is a view over these) --------
         self.batches_accepted = self.registry.counter(
             "repro_batches_accepted_total",
-            "Report batches accepted across all campaigns; doubles as "
-            "the snapshot sequence number and therefore resumes across "
-            "restarts.",
+            "Report batches accepted, by campaign; the sum over "
+            "campaigns doubles as the snapshot sequence number and "
+            "therefore resumes across restarts (per-child restore).",
+            labels=("campaign",),
         )
         self.duplicate_batches = self.registry.counter(
             "repro_duplicate_batches_total",
@@ -274,8 +292,29 @@ class ServerMetrics:
         self.budget_spend = observed.histogram(
             "repro_user_budget_spent_epsilon",
             "Cumulative per-user epsilon spend, observed for every "
-            "user in each accepted batch after the charge.",
+            "*charged* user in each accepted batch after the charge "
+            "(memoized re-reports charge nobody), by campaign.",
             buckets=_EPSILON_BUCKETS,
+            labels=("campaign",),
+        )
+        self.campaign_window_latest = self.registry.gauge(
+            "repro_campaign_window_latest_round",
+            "Highest streaming round absorbed per windowed campaign "
+            "(-1 before any data; absent for unwindowed campaigns).",
+            labels=("campaign",),
+        )
+        self.campaign_window_panes = self.registry.gauge(
+            "repro_campaign_window_live_panes",
+            "Distinct live ring panes per windowed campaign, across "
+            "shards.",
+            labels=("campaign",),
+        )
+        self.campaign_window_reports = self.registry.gauge(
+            "repro_campaign_window_reports",
+            "Reports currently held in live (in-window) panes per "
+            "windowed campaign; the all-time total is "
+            "repro_campaign_reports.",
+            labels=("campaign",),
         )
 
     # ------------------------------------------------------------------
@@ -305,9 +344,24 @@ class ServerMetrics:
         )
 
     def track_campaign(self, campaign: Campaign) -> None:
-        self.campaign_reports.labels(
-            campaign=campaign.fingerprint
-        ).set_function(lambda: campaign.reports)
+        fp = campaign.fingerprint
+        self.campaign_reports.labels(campaign=fp).set_function(
+            lambda: campaign.reports
+        )
+        # Pre-seed the per-campaign series so exposition shows explicit
+        # zeros (deterministically, children render sorted by label).
+        self.batches_accepted.labels(campaign=fp)
+        self.budget_spend.labels(campaign=fp)
+        if campaign.windowed:
+            self.campaign_window_latest.labels(campaign=fp).set_function(
+                campaign.window_latest_round
+            )
+            self.campaign_window_panes.labels(campaign=fp).set_function(
+                campaign.window_live_panes
+            )
+            self.campaign_window_reports.labels(campaign=fp).set_function(
+                campaign.window_reports
+            )
 
 
 class IngestionServer:
@@ -356,6 +410,14 @@ class IngestionServer:
         (latency/spend histograms, per-campaign counters) for no-ops.
         State counters stay live either way — healthz and the
         checkpoint sequence read them.
+    window:
+        Optional :class:`~repro.stream.windows.WindowConfig` (or its
+        dict form) applied to every campaign registered at boot.  The
+        campaigns then accumulate into ring-buffer panes keyed by the
+        envelope's streaming round and answer
+        ``GET /estimate?window=...`` and ``GET /heavy-hitters``;
+        campaigns registered later via ``POST /campaigns`` choose their
+        own window in the request body.
     """
 
     def __init__(
@@ -371,6 +433,7 @@ class IngestionServer:
         shard_queue_depth: int = 64,
         metrics_registry: Optional[MetricsRegistry] = None,
         instrument: bool = True,
+        window: Optional[Union[WindowConfig, Dict[str, Any]]] = None,
     ):
         if checkpoint_every is not None:
             if checkpoint_every < 1:
@@ -394,13 +457,16 @@ class IngestionServer:
             ]
             for worker in self._workers:
                 self.metrics.track_worker(worker)
+        if window is not None and not isinstance(window, WindowConfig):
+            window = WindowConfig.from_dict(window)
+        self.window = window
         if protocol_or_spec is not None:
             campaign, _ = self.registry.register(
-                protocol_or_spec, default=True
+                protocol_or_spec, default=True, window=window
             )
             self.metrics.track_campaign(campaign)
         for spec in campaigns or ():
-            campaign, _ = self.registry.register(spec)
+            campaign, _ = self.registry.register(spec, window=window)
             self.metrics.track_campaign(campaign)
         if lifetime_epsilon is None:
             if len(self.registry) == 0:
@@ -487,7 +553,9 @@ class IngestionServer:
                 campaign = self.registry.get(fp)
             else:
                 campaign, _ = self.registry.register(
-                    entry["spec"], default=(fp == manifest_default)
+                    entry["spec"],
+                    default=(fp == manifest_default),
+                    window=entry.get("window"),
                 )
                 self.metrics.track_campaign(campaign)
             if campaign.fingerprint != fp:
@@ -496,15 +564,18 @@ class IngestionServer:
                     f"its own spec (fingerprint "
                     f"{campaign.fingerprint[:12]!r}...)"
                 )
+            # The sequence counter is labelled by campaign; restore each
+            # child so both the per-campaign series and the summed
+            # snapshot seq come back exact.
+            self.metrics.batches_accepted.labels(campaign=fp).restore(
+                int(entry.get("batches_accepted", 0))
+            )
             saved_seq = entry.get("seq")
             if saved_seq is None:  # registered but never checkpointed
                 continue
             payload = self.store.namespace(fp).load(int(saved_seq))
             campaign.restore(entry, payload)
         self.ledger = CrossCampaignLedger.from_dict(snapshot["ledger"])
-        self.metrics.batches_accepted.restore(
-            int(snapshot["batches_accepted"])
-        )
         self.metrics.duplicate_batches.restore(
             int(snapshot.get("duplicates", 0))
         )
@@ -536,7 +607,9 @@ class IngestionServer:
         default.seen_keys = set(snapshot.get("idempotency_keys", []))
         default.batches_accepted = int(snapshot["batches_accepted"])
         default.dirty = True
-        self.metrics.batches_accepted.restore(default.batches_accepted)
+        self.metrics.batches_accepted.labels(
+            campaign=default.fingerprint
+        ).restore(default.batches_accepted)
         _log.info(
             "resumed from legacy snapshot",
             extra={
@@ -716,6 +789,13 @@ class IngestionServer:
             "spec": campaign.spec.to_dict(),
             "epsilon_per_report": campaign.spec.epsilon,
             "lifetime_epsilon": self.ledger.lifetime_epsilon,
+            # Window-unaware clients ignore this; window-aware ones
+            # learn the pane geometry for their ?window= queries.
+            "window": (
+                campaign.window.to_dict()
+                if campaign.window is not None
+                else None
+            ),
         }
 
     def _handle_estimate(
@@ -724,6 +804,8 @@ class IngestionServer:
         campaign, error = self._resolve(query.get("campaign"))
         if error is not None:
             return error
+        if query.get("window") is not None or query.get("decay") is not None:
+            return self._handle_window_estimate(campaign, query)
         # Quiesce the shard workers so the estimate covers every batch
         # accepted so far, then merge the shards in fixed order.
         self._flush_shards()
@@ -739,11 +821,19 @@ class IngestionServer:
         if final and campaign.state.value == "sealed":
             campaign.mark_estimated()
             self._checkpoint_if_durable()
+        try:
+            estimate = campaign.merged_accumulator().estimate()
+        except TypeError as exc:
+            # A decay-configured campaign whose protocol kind has no
+            # linear estimate (histogram projection, mixed tuples).
+            return 400, {
+                "error": "bad_estimate",
+                "campaign": campaign.fingerprint,
+                "detail": str(exc),
+            }
         return 200, wire.pack(
             {
-                "estimate": wire.encode_estimate(
-                    campaign.merged_accumulator().estimate()
-                ),
+                "estimate": wire.encode_estimate(estimate),
                 "reports": campaign.reports,
                 "state": campaign.state.value,
                 "final": final,
@@ -751,6 +841,139 @@ class IngestionServer:
             campaign.fingerprint,
             campaign=campaign.fingerprint,
         )
+
+    def _handle_window_estimate(
+        self, campaign: Campaign, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /estimate?window=<panes|duration>[&decay=<gamma>]``.
+
+        Windowed estimates never finalize a campaign — they are live
+        monitoring views, not the collection's final answer.
+        """
+        if not campaign.windowed:
+            return 409, {
+                "error": "not_windowed",
+                "campaign": campaign.fingerprint,
+                "detail": "campaign has no window config; only the "
+                "all-time estimate is available",
+            }
+        try:
+            panes = campaign.window.resolve_panes(query.get("window"))
+            decay = (
+                float(query["decay"]) if query.get("decay") is not None
+                else None
+            )
+        except ValueError as exc:
+            return 400, {"error": "bad_window", "detail": str(exc)}
+        self._flush_shards()
+        merged = campaign.merged_window()
+        try:
+            if decay is not None:
+                estimate = merged.decayed_estimate(decay, panes)
+            else:
+                estimate = merged.window_estimate(panes)
+        except ValueError as exc:
+            return 409, {
+                "error": "no_reports",
+                "campaign": campaign.fingerprint,
+                "detail": str(exc),
+            }
+        except TypeError as exc:
+            return 400, {"error": "bad_window", "detail": str(exc)}
+        latest = merged.latest_round
+        return 200, wire.pack(
+            {
+                "estimate": wire.encode_estimate(estimate),
+                "reports": merged.window_count(panes),
+                "state": campaign.state.value,
+                "final": False,
+                "window": {
+                    "panes": panes,
+                    "latest_round": latest,
+                    "decay": decay,
+                },
+            },
+            campaign.fingerprint,
+            campaign=campaign.fingerprint,
+        )
+
+    def _handle_heavy_hitters(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /heavy-hitters?[campaign=..&k=..&window=..]`` — top-k
+        categories with churn against the previous round.
+
+        Frequency-shaped campaigns only.  Windowed campaigns rank over
+        the current window (the live view heavy hitters are *for*);
+        plain campaigns rank over the all-time estimate.
+        """
+        campaign, error = self._resolve(query.get("campaign"))
+        if error is not None:
+            return error
+        if campaign.spec.kind not in ("frequency", "histogram"):
+            return 409, {
+                "error": "not_frequency",
+                "campaign": campaign.fingerprint,
+                "detail": f"heavy hitters need a frequency-shaped "
+                f"campaign, not {campaign.spec.kind!r}",
+            }
+        try:
+            k = int(query.get("k", 10))
+        except ValueError:
+            return 400, {
+                "error": "bad_request",
+                "detail": f"k must be an integer, got {query.get('k')!r}",
+            }
+        if k < 1:
+            return 400, {
+                "error": "bad_request",
+                "detail": f"k must be >= 1, got {k}",
+            }
+        panes: Optional[int] = None
+        if campaign.windowed:
+            try:
+                panes = campaign.window.resolve_panes(query.get("window"))
+            except ValueError as exc:
+                return 400, {"error": "bad_window", "detail": str(exc)}
+        self._flush_shards()
+        round_: Optional[int] = None
+        try:
+            if campaign.windowed:
+                merged = campaign.merged_window()
+                windowed_view = merged.window_accumulator(panes)
+                if windowed_view.count == 0:
+                    raise ValueError("no reports in window")
+                estimate = windowed_view.estimate()
+                round_ = merged.latest_round
+                reports = int(windowed_view.count)
+            else:
+                if query.get("window") is not None:
+                    return 409, {
+                        "error": "not_windowed",
+                        "campaign": campaign.fingerprint,
+                        "detail": "campaign has no window config",
+                    }
+                if campaign.reports == 0:
+                    raise ValueError("no reports received yet")
+                estimate = campaign.merged_accumulator().estimate()
+                reports = int(campaign.reports)
+        except ValueError as exc:
+            return 409, {
+                "error": "no_reports",
+                "campaign": campaign.fingerprint,
+                "detail": str(exc),
+            }
+        # Histogram estimates carry the projected probability vector;
+        # frequency estimates are already the frequency vector.
+        frequencies = getattr(estimate, "histogram", estimate)
+        view = campaign.heavy_tracker(k).update(
+            frequencies, round_=round_, k=k
+        )
+        return 200, {
+            "campaign": campaign.fingerprint,
+            "reports": reports,
+            **view.to_dict(),
+        }
 
     def _handle_campaign_list(self) -> Tuple[int, Dict[str, Any]]:
         return 200, {
@@ -767,9 +990,24 @@ class IngestionServer:
                 "detail": "POST /campaigns requires a JSON body with a "
                 "'spec' object (ProtocolSpec.to_dict())",
             }
+        window = body.get("window")
+        if window is not None and not isinstance(window, dict):
+            return 400, {
+                "error": "bad_request",
+                "detail": "'window' must be a WindowConfig object "
+                "(panes / pane_seconds / decay)",
+            }
         try:
-            campaign, created = self.registry.register(body["spec"])
-        except (ValueError, KeyError, TypeError) as exc:
+            campaign, created = self.registry.register(
+                body["spec"], window=window
+            )
+        except ValueError as exc:
+            if "already registered" in str(exc):
+                # Same spec, conflicting window config: the campaign
+                # exists, so this is a conflict, not a bad request.
+                return 409, {"error": "window_conflict", "detail": str(exc)}
+            return 400, {"error": "bad_spec", "detail": str(exc)}
+        except (KeyError, TypeError) as exc:
             return 400, {"error": "bad_spec", "detail": str(exc)}
         if created:
             self.metrics.track_campaign(campaign)
@@ -880,6 +1118,33 @@ class IngestionServer:
                 "error": "bad_request",
                 "detail": "payload must carry a non-empty 'users' list",
             }
+
+        # Streaming extensions (both optional, both wire versions):
+        # 'round' buckets the batch into a window pane, 'fresh' marks
+        # which users' reports were newly perturbed this round — only
+        # those are charged (memoized replays are privacy-free, see
+        # DESIGN.md "Streaming analytics").
+        round_ = payload.get("round")
+        if round_ is not None:
+            if not isinstance(round_, int) or isinstance(round_, bool) \
+                    or round_ < 0:
+                return 400, {
+                    "error": "bad_request",
+                    "detail": f"'round' must be a non-negative integer, "
+                    f"got {round_!r}",
+                }
+        fresh = payload.get("fresh")
+        if fresh is not None:
+            if (
+                not isinstance(fresh, list)
+                or len(fresh) != len(users)
+                or not all(isinstance(f, bool) for f in fresh)
+            ):
+                return 400, {
+                    "error": "bad_request",
+                    "detail": "'fresh' must be a list of booleans, one "
+                    "per user",
+                }
         block = payload.get("columns")
         if block is not None:
             wire_version = wire.WIRE_VERSION_COLUMNAR
@@ -932,8 +1197,14 @@ class IngestionServer:
         # cross-campaign ledger*: either every user has room for all
         # their reports in the batch (at multiplicity) on top of what
         # they already spent in ANY campaign, or nothing happens.
+        # Memoized replays ('fresh' flag False) cost zero epsilon —
+        # they are byte-identical to a report already paid for.
         epsilon = campaign.spec.epsilon
-        multiplicity = batch_multiplicity(users)
+        charged_users = (
+            [u for u, f in zip(users, fresh) if f]
+            if fresh is not None else users
+        )
+        multiplicity = batch_multiplicity(charged_users)
         rejected = self.ledger.rejected_users(multiplicity, epsilon)
         if rejected:
             return 429, {
@@ -946,10 +1217,10 @@ class IngestionServer:
         if worker is not None:
             # Validated and pre-checked: hand off to the shard worker
             # (absorption happens off-loop, in per-shard FIFO order).
-            worker.submit(campaign, batch)
+            worker.submit(campaign, batch, round_)
         else:
             try:
-                campaign.absorb_shard(0, batch)
+                campaign.absorb_shard(0, batch, round_)
             except ValueError as exc:  # pragma: no cover - validated
                 return 400, {"error": "bad_reports", "detail": str(exc)}
         self.ledger.charge_batch(
@@ -959,7 +1230,7 @@ class IngestionServer:
         m.wire_batches.labels(wire_version=str(wire_version)).inc()
         campaign.batches_accepted += 1
         campaign.dirty = True
-        m.batches_accepted.inc()
+        m.batches_accepted.labels(campaign=campaign.fingerprint).inc()
         if m.instrumented:
             m.ingest_reports.labels(
                 campaign=campaign.fingerprint,
@@ -967,9 +1238,10 @@ class IngestionServer:
             ).inc(n)
             # Bulk-observe every charged user's *cumulative* spend:
             # one lock, sort + bisect, ~100 µs for a 2k-user batch.
-            m.budget_spend.observe_many(
-                self.ledger.spent_many(multiplicity)
-            )
+            if multiplicity:
+                m.budget_spend.labels(
+                    campaign=campaign.fingerprint
+                ).observe_many(self.ledger.spent_many(multiplicity))
         if _log.isEnabledFor(10):  # DEBUG — skip extra-dict on hot path
             _log.debug(
                 "batch accepted",
@@ -1043,6 +1315,10 @@ class IngestionServer:
             if method != "GET":
                 return 405, {"error": "method_not_allowed"}
             return self._handle_estimate(query)
+        if path == "/heavy-hitters":
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}
+            return self._handle_heavy_hitters(query)
         if path == "/campaigns":
             if method == "GET":
                 return self._handle_campaign_list()

@@ -83,12 +83,14 @@ class ShardRing:
 class ShardWorker:
     """One shard's absorption thread behind a bounded queue.
 
-    Items are ``(campaign, batch)`` pairs — ``batch`` is either a
-    report container or a columnar
-    :class:`~repro.protocol.reports.ColumnBlock`; the worker calls
-    ``campaign.absorb_shard(self.index, batch)``.  Per-shard FIFO order
-    is the determinism contract: floats fold in arrival order within a
-    shard, and the fan-in merge runs in fixed shard order.
+    Items are ``(campaign, batch, round)`` triples — ``batch`` is
+    either a report container or a columnar
+    :class:`~repro.protocol.reports.ColumnBlock`, ``round`` the
+    optional streaming round the envelope carried; the worker calls
+    ``campaign.absorb_shard(self.index, batch, round)``.  Per-shard
+    FIFO order is the determinism contract: floats fold in arrival
+    order within a shard, and the fan-in merge runs in fixed shard
+    order.
     """
 
     def __init__(self, index: int, queue_depth: int = 64) -> None:
@@ -124,9 +126,9 @@ class ShardWorker:
                 item.done.set()
                 self.queue.task_done()
                 continue
-            campaign, batch = item
+            campaign, batch, round_ = item
             try:
-                absorbed = campaign.absorb_shard(self.index, batch)
+                absorbed = campaign.absorb_shard(self.index, batch, round_)
                 self.absorbed_batches += 1
                 self.absorbed_reports += int(absorbed)
             except Exception:  # noqa: BLE001 - validated upstream; count
@@ -154,9 +156,11 @@ class ShardWorker:
         """
         return not self.queue.full()
 
-    def submit(self, campaign: Any, batch: Any) -> None:
+    def submit(
+        self, campaign: Any, batch: Any, round_: Optional[int] = None
+    ) -> None:
         """Enqueue one validated batch (caller checked capacity)."""
-        self.queue.put_nowait((campaign, batch))
+        self.queue.put_nowait((campaign, batch, round_))
 
     def flush(self, timeout: float = 30.0) -> None:
         """Block until everything enqueued so far has been absorbed."""

@@ -285,6 +285,8 @@ def pack_columns(
     users: Optional[List[str]] = None,
     idempotency_key: Optional[str] = None,
     campaign: Optional[str] = None,
+    round: Optional[int] = None,
+    fresh: Optional[List[bool]] = None,
 ) -> bytes:
     """Frame a columnar batch as one v2 binary message.
 
@@ -326,6 +328,10 @@ def pack_columns(
         header["idempotency_key"] = str(idempotency_key)
     if campaign is not None:
         header["campaign"] = str(campaign)
+    if round is not None:
+        header["round"] = int(round)
+    if fresh is not None:
+        header["fresh"] = [bool(f) for f in fresh]
     head = json.dumps(header, separators=(",", ":")).encode("utf-8")
     return b"".join(
         [COLUMNAR_MAGIC, struct.pack("<I", len(head)), head] + payloads
@@ -415,6 +421,12 @@ def unpack_columns(data: bytes) -> Dict[str, Any]:
             "columns": block,
         },
     }
+    # Streaming keys ride in the payload dict, the same place the v1
+    # JSON envelope carries them, so the server reads one shape.
+    if header.get("round") is not None:
+        envelope["payload"]["round"] = header["round"]
+    if header.get("fresh") is not None:
+        envelope["payload"]["fresh"] = header["fresh"]
     if header.get("campaign") is not None:
         envelope["campaign"] = header["campaign"]
     return envelope

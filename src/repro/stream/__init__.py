@@ -1,0 +1,41 @@
+"""repro.stream — streaming analytics over mergeable accumulators.
+
+Three pillars, layered on the protocol/service stack built by earlier
+PRs:
+
+* :mod:`repro.stream.windows` — :class:`WindowConfig`,
+  :class:`WindowedAccumulator` and its exponentially-decayed variant:
+  time-bucketed ring-buffer panes over any
+  :class:`~repro.protocol.accumulators.ServerAccumulator`, merged with
+  the bitwise-tested ``merge()`` as a pane merge tree.
+* :mod:`repro.stream.memo` — :class:`MemoizedEncoder`: longitudinal
+  client-side memoization so a user re-reporting an unchanged value
+  across rounds resends the *same* perturbed report and is charged
+  privacy budget only once.
+* :mod:`repro.stream.heavy` — :class:`HeavyHitterTracker`: top-k over
+  the frequency oracles with churn detection between consecutive
+  windows.
+
+``windows`` and ``heavy`` run on the aggregator and are held to the
+QA201 privacy boundary (no client-side raw-value imports); ``memo`` is
+client-side by design and wraps the protocol encoders.
+"""
+
+from repro.stream.heavy import HeavyHitters, HeavyHitterTracker
+from repro.stream.memo import MemoizedEncoder
+from repro.stream.windows import (
+    DecayedWindowedAccumulator,
+    WindowConfig,
+    WindowedAccumulator,
+    parse_duration,
+)
+
+__all__ = [
+    "DecayedWindowedAccumulator",
+    "HeavyHitters",
+    "HeavyHitterTracker",
+    "MemoizedEncoder",
+    "WindowConfig",
+    "WindowedAccumulator",
+    "parse_duration",
+]

@@ -103,6 +103,16 @@ class TestExamplesRun:
         assert "linear SVM" in out
         assert "LDP-SGD" in out
 
+    def test_live_dashboard(self, capsys, monkeypatch):
+        module = _load("live_dashboard")
+        monkeypatch.setattr(module, "N_USERS", 800)
+        module.main(["--once"])
+        out = capsys.readouterr().out
+        assert "repro.stream dashboard" in out
+        assert "<- top-3" in out
+        assert "window reports: 800" in out
+        assert "repro_campaign_window_latest_round" in out
+
     def test_dependency_mining(self, capsys, monkeypatch):
         module = _load("dependency_mining")
         monkeypatch.setattr(module, "N_USERS", 20_000)
@@ -140,6 +150,7 @@ class TestExamplesRun:
             "distribution_estimation",
             "streaming_deployment",
             "multi_campaign_service",
+            "live_dashboard",
             "ldp_neural_network",
             "dependency_mining",
         }

@@ -68,7 +68,10 @@ class TestMetricsEndpoint:
         )
         text = client.server_metrics_text()
         assert "# TYPE repro_batches_accepted_total counter" in text
-        assert "repro_batches_accepted_total 1" in text
+        fp = server.registry.default.fingerprint
+        assert (
+            f'repro_batches_accepted_total{{campaign="{fp}"}} 1' in text
+        )
         assert 'repro_ingest_batches_total{wire_version="2"} 1' in text
         # Pre-seeded zero for the legacy wire version — explicit, not absent.
         assert 'repro_ingest_batches_total{wire_version="1"} 0' in text
@@ -115,8 +118,11 @@ class TestMetricsEndpoint:
         registry = server.metrics.registry
         assert health["status"] == "ok"
         assert health["batches_accepted"] == 2
+        # The counter is labelled per campaign now; healthz reports the
+        # sum over campaigns.
         assert health["batches_accepted"] == registry.sample(
-            "repro_batches_accepted_total"
+            "repro_batches_accepted_total",
+            {"campaign": server.registry.default.fingerprint},
         )
         assert health["duplicates"] == registry.sample(
             "repro_duplicate_batches_total"
@@ -132,7 +138,10 @@ class TestMetricsEndpoint:
         client.submit(np.arange(N) % 10, users=_users(N), rng=SEED)
         text = client.server_metrics_text()
         # Durable state counters survive instrument=False...
-        assert "repro_batches_accepted_total 1" in text
+        fp = server.registry.default.fingerprint
+        assert (
+            f'repro_batches_accepted_total{{campaign="{fp}"}} 1' in text
+        )
         assert 'repro_ingest_batches_total{wire_version="2"} 1' in text
         # ...but request-path observation is nulled out.
         assert "repro_request_seconds_bucket" not in text

@@ -382,7 +382,7 @@ class TestBackpressure:
             def __init__(self):
                 self.batches = []
 
-            def absorb_shard(self, index, batch):
+            def absorb_shard(self, index, batch, round_=None):
                 self.batches.append((index, batch))
                 return 1
 
